@@ -1,0 +1,99 @@
+//! Criterion benches of the tile kernels across precision formats — the
+//! CPU-side analogue of the paper's GEMM benchmark (§IV), plus the other
+//! Algorithm 1 kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_kernels::{gemm_tile, potrf_tile, syrk_tile, trsm_tile};
+use mixedp_tile::Tile;
+
+fn rand_tile(m: usize, k: usize, seed: u64) -> Tile {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let d: Vec<f64> = (0..m * k)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    Tile::from_f64(m, k, &d, StoragePrecision::F64)
+}
+
+fn spd_tile(n: usize) -> Tile {
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        d[i * n + i] += n as f64;
+    }
+    Tile::from_f64(n, n, &d, StoragePrecision::F64)
+}
+
+fn bench_gemm_precisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_tile");
+    g.sample_size(10);
+    let n = 128;
+    let a = rand_tile(n, n, 1);
+    let b = rand_tile(n, n, 2);
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    for p in [
+        Precision::Fp64,
+        Precision::Fp32,
+        Precision::Tf32,
+        Precision::Fp16x32,
+        Precision::Fp16,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(p.label()), &p, |bch, &p| {
+            bch.iter(|| {
+                let mut cm = Tile::zeros(n, n, StoragePrecision::F64);
+                gemm_tile(p, &a, &b, &mut cm);
+                cm
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_panel_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_kernels");
+    g.sample_size(10);
+    let n = 128;
+    let spd = spd_tile(n);
+    g.bench_function("potrf_fp64", |bch| {
+        bch.iter(|| {
+            let mut t = spd.clone();
+            potrf_tile(&mut t).unwrap();
+            t
+        })
+    });
+    let mut l = spd.clone();
+    potrf_tile(&mut l).unwrap();
+    let panel = rand_tile(n, n, 3);
+    g.bench_function("trsm_fp64", |bch| {
+        bch.iter(|| {
+            let mut b = panel.clone();
+            trsm_tile(Precision::Fp64, &l, &mut b);
+            b
+        })
+    });
+    g.bench_function("trsm_fp32", |bch| {
+        bch.iter(|| {
+            let mut b = panel.clone();
+            trsm_tile(Precision::Fp32, &l, &mut b);
+            b
+        })
+    });
+    g.bench_function("syrk_fp64", |bch| {
+        bch.iter(|| {
+            let mut cm = spd.clone();
+            syrk_tile(&panel, &mut cm);
+            cm
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm_precisions, bench_panel_kernels);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! The paper's three application workloads (2D-sqexp, 2D-Matérn, 3D-sqexp)
+//! and the sampled-norm precision-map estimator used at simulator scale.
+
+use mixedp_core::PrecisionMap;
+use mixedp_fp::Precision;
+use mixedp_geostats::covariance::covariance_entry;
+use mixedp_geostats::{gen_locations_2d, gen_locations_3d, CovarianceModel, Location, Matern2d, SqExp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One of the paper's three applications, with its accuracy threshold from
+/// §VII-C: `1e-4` for 2D-sqexp, `1e-9` for 2D-Matérn, `1e-8` for 3D-sqexp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    SqExp2d,
+    Matern2d,
+    SqExp3d,
+}
+
+impl App {
+    pub const ALL: [App; 3] = [App::SqExp2d, App::Matern2d, App::SqExp3d];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            App::SqExp2d => "2D-sqexp",
+            App::Matern2d => "2D-Matérn",
+            App::SqExp3d => "3D-sqexp",
+        }
+    }
+
+    /// The per-application accuracy threshold of Fig 7.
+    pub fn accuracy(self) -> f64 {
+        match self {
+            App::SqExp2d => 1e-4,
+            App::Matern2d => 1e-9,
+            App::SqExp3d => 1e-8,
+        }
+    }
+
+    pub fn model(self) -> Box<dyn CovarianceModel> {
+        match self {
+            App::SqExp2d => Box::new(SqExp::new2d()),
+            App::Matern2d => Box::new(Matern2d),
+            App::SqExp3d => Box::new(SqExp::new3d()),
+        }
+    }
+
+    /// A representative `θ` (medium correlation; Matérn rough field).
+    pub fn theta(self) -> Vec<f64> {
+        match self {
+            App::SqExp2d => vec![1.0, 0.1],
+            App::Matern2d => vec![1.0, 0.1, 0.5],
+            App::SqExp3d => vec![1.0, 0.1],
+        }
+    }
+
+    pub fn locations(self, n: usize, rng: &mut StdRng) -> Vec<Location> {
+        match self {
+            App::SqExp2d | App::Matern2d => gen_locations_2d(n, rng),
+            App::SqExp3d => gen_locations_3d(n, rng),
+        }
+    }
+}
+
+/// Estimate the precision map of an `n × n` covariance matrix *without*
+/// materializing it: each tile's Frobenius norm is estimated from an
+/// `s × s` entry sample and scaled by `(nb/s)` — accurate for the smooth
+/// kernels used here, and what makes simulator-scale maps (n ≥ 60k,
+/// Figs 8–12) affordable.
+pub fn approx_precision_map(
+    app: App,
+    n: usize,
+    nb: usize,
+    u_req: f64,
+    sample: usize,
+    seed: u64,
+) -> PrecisionMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let locs = app.locations(n, &mut rng);
+    let model = app.model();
+    let theta = app.theta();
+    let nt = n.div_ceil(nb);
+    let s = sample.min(nb);
+
+    // sampled tile norms (lower triangle)
+    let mut norm = vec![0.0f64; nt * nt];
+    let mut global_sq = 0.0;
+    for ti in 0..nt {
+        for tj in 0..=ti {
+            let rows = (n - ti * nb).min(nb);
+            let cols = (n - tj * nb).min(nb);
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for a in 0..s.min(rows) {
+                for b in 0..s.min(cols) {
+                    let i = ti * nb + a * rows / s.min(rows);
+                    let j = tj * nb + b * cols / s.min(cols);
+                    if tj < ti || j <= i {
+                        let v = covariance_entry(model.as_ref(), &locs, i, j, &theta);
+                        acc += v * v;
+                        count += 1;
+                    }
+                }
+            }
+            let scale = (rows * cols) as f64 / count.max(1) as f64;
+            let tile_sq = acc * scale;
+            norm[ti * nt + tj] = tile_sq.sqrt();
+            global_sq += if ti == tj { tile_sq } else { 2.0 * tile_sq };
+        }
+    }
+    let global = global_sq.sqrt();
+
+    PrecisionMap::from_fn(nt, |i, j| {
+        let lhs = norm[i * nt + j] * nt as f64 / global;
+        let mut chosen = Precision::Fp64;
+        for &p in &Precision::ADAPTIVE_SET {
+            if p == Precision::Fp64 {
+                continue;
+            }
+            if lhs <= u_req / p.effective_epsilon() {
+                chosen = p;
+                break;
+            }
+        }
+        chosen
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedp_tile::{tile_fro_norms, SymmTileMatrix};
+
+    #[test]
+    fn app_metadata() {
+        assert_eq!(App::SqExp2d.accuracy(), 1e-4);
+        assert_eq!(App::Matern2d.accuracy(), 1e-9);
+        assert_eq!(App::SqExp3d.accuracy(), 1e-8);
+        assert_eq!(App::Matern2d.theta().len(), 3);
+        assert_eq!(App::SqExp3d.label(), "3D-sqexp");
+    }
+
+    #[test]
+    fn approx_map_close_to_exact_map() {
+        // at a size where the exact map is computable, the sampled map must
+        // agree on the vast majority of tiles
+        let app = App::SqExp2d;
+        let (n, nb, u_req) = (1024usize, 128usize, 1e-4);
+        let approx = approx_precision_map(app, n, nb, u_req, 32, 7);
+        // exact
+        let mut rng = StdRng::seed_from_u64(7);
+        let locs = app.locations(n, &mut rng);
+        let model = app.model();
+        let theta = app.theta();
+        let a = SymmTileMatrix::from_fn(
+            n,
+            nb,
+            |i, j| covariance_entry(model.as_ref(), &locs, i, j, &theta),
+            |_, _| mixedp_fp::StoragePrecision::F64,
+        );
+        let exact = PrecisionMap::from_norms(&tile_fro_norms(&a), u_req, &Precision::ADAPTIVE_SET);
+        let nt = approx.nt();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..nt {
+            for j in 0..=i {
+                total += 1;
+                if approx.kernel(i, j) == exact.kernel(i, j) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            agree as f64 >= 0.8 * total as f64,
+            "only {agree}/{total} tiles agree"
+        );
+    }
+
+    #[test]
+    fn approx_map_diagonal_fp64() {
+        let m = approx_precision_map(App::Matern2d, 2048, 256, 1e-9, 16, 3);
+        for k in 0..m.nt() {
+            assert_eq!(m.kernel(k, k), Precision::Fp64);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal `--key=value` argument parsing for the experiment binaries (no
+//! external CLI dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments of the form `--key=value` (or bare flags).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    pub fn from_iter(it: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        for a in it {
+            if let Some(rest) = a.strip_prefix("--") {
+                match rest.split_once('=') {
+                    Some((k, v)) => map.insert(k.to_string(), v.to_string()),
+                    None => map.insert(rest.to_string(), "true".to_string()),
+                };
+            }
+        }
+        Args { map }
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer, got {v}")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a float, got {v}")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.map.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kv_and_flags() {
+        let a = Args::from_iter(
+            ["--n=100", "--acc=1e-9", "--full", "positional"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_usize("n", 5), 100);
+        assert_eq!(a.get_f64("acc", 0.0), 1e-9);
+        assert!(a.get_flag("full"));
+        assert!(!a.get_flag("absent"));
+        assert_eq!(a.get_str("mode", "x"), "x");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::from_iter(std::iter::empty());
+        assert_eq!(a.get_usize("n", 7), 7);
+    }
+}

@@ -1,0 +1,92 @@
+//! Extension experiment: tile low-rank compression of the geospatial
+//! covariance (the paper's §VIII future work) and its synthesis with the
+//! precision map — dense FP64 vs adaptive-MP vs TLR vs MP+TLR footprints.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin ext_tlr_compression \
+//!       [--n=2048] [--nb=256] [--tol=1e-8]`
+
+use mixedp_bench::Args;
+use mixedp_core::tlr::compress_tile;
+use mixedp_core::PrecisionMap;
+use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_geostats::covariance::covariance_entry;
+use mixedp_geostats::{gen_locations_2d, Matern2d};
+use mixedp_tile::{tile_fro_norms, SymmTileMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 2048);
+    let nb = args.get_usize("nb", 256);
+    let tol = args.get_f64("tol", 1e-8);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let locs = gen_locations_2d(n, &mut rng);
+    let model = Matern2d;
+    let theta = [1.0, 0.1, 0.5];
+    let a = SymmTileMatrix::from_fn(
+        n,
+        nb,
+        |i, j| covariance_entry(&model, &locs, i, j, &theta),
+        |_, _| StoragePrecision::F64,
+    );
+    let pmap = PrecisionMap::from_norms(&tile_fro_norms(&a), tol, &Precision::ADAPTIVE_SET);
+    let nt = a.nt();
+
+    println!("TLR compression of a 2D Matérn covariance (n={n}, nb={nb}, tol={tol:e})\n");
+    println!("rank map (off-diagonal tiles; '·' = kept dense):");
+    let mut dense_bytes = 0usize;
+    let mut mp_bytes = 0usize;
+    let mut tlr_bytes = 0usize;
+    let mut mptlr_bytes = 0usize;
+    for i in 0..nt {
+        for j in 0..=i {
+            let t = a.tile(i, j);
+            dense_bytes += t.len() * 8;
+            mp_bytes += t.len() * pmap.storage(i, j).bytes();
+            if i == j {
+                // diagonal stays dense FP64 in every scheme
+                tlr_bytes += t.len() * 8;
+                mptlr_bytes += t.len() * 8;
+                print!("  D ");
+                continue;
+            }
+            match compress_tile(t, tol, StoragePrecision::F64) {
+                Some(c) => {
+                    print!("{:>3} ", c.rank());
+                    tlr_bytes += c.bytes();
+                    // MP+TLR: factors stored at the map's precision
+                    let cs = compress_tile(t, tol, pmap.storage(i, j)).unwrap();
+                    mptlr_bytes += cs.bytes();
+                }
+                None => {
+                    print!("  · ");
+                    tlr_bytes += t.len() * 8;
+                    mptlr_bytes += t.len() * pmap.storage(i, j).bytes();
+                }
+            }
+        }
+        println!();
+    }
+    println!("\nstorage footprints (lower triangle):");
+    println!("  dense FP64        {:>10.2} MB", dense_bytes as f64 / 1e6);
+    println!(
+        "  adaptive MP       {:>10.2} MB ({:.0}% of dense)",
+        mp_bytes as f64 / 1e6,
+        100.0 * mp_bytes as f64 / dense_bytes as f64
+    );
+    println!(
+        "  TLR (FP64 factors){:>10.2} MB ({:.0}% of dense)",
+        tlr_bytes as f64 / 1e6,
+        100.0 * tlr_bytes as f64 / dense_bytes as f64
+    );
+    println!(
+        "  MP + TLR          {:>10.2} MB ({:.0}% of dense)",
+        mptlr_bytes as f64 / 1e6,
+        100.0 * mptlr_bytes as f64 / dense_bytes as f64
+    );
+    println!("\nexpected: off-diagonal ranks shrink away from the diagonal; combining");
+    println!("the precision map with low-rank factors compounds the savings — the");
+    println!("paper's future-work synthesis, quantified.");
+}

@@ -1,0 +1,123 @@
+//! Fig 12 reproduction: Summit-scale evaluation — (a) weak scalability,
+//! (b) strong scalability at matrix 798,720, (c) the mixed-precision effect
+//! on 64 nodes (384 GPUs) for FP32 and the three applications vs FP64.
+//!
+//! Defaults are scaled down (1-core DES host); pass `--full` for the
+//! paper-size runs.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin fig12_scaling \
+//!       [--mode=weak|strong|mp|all] [--nb=2048] [--full]`
+
+use mixedp_bench::{approx_precision_map, App, Args};
+use mixedp_core::{simulate_cholesky, uniform_map, CholeskySimOptions, Strategy};
+use mixedp_fp::Precision;
+use mixedp_gpusim::ClusterSpec;
+
+fn weak(nb: usize, full: bool) {
+    println!("--- Fig 12a: weak scalability (Summit, STC, FP64) ---");
+    println!("{:>6} {:>6} {:>9} {:>11} {:>11} {:>8}", "nodes", "GPUs", "matrix", "Tflop/s", "peak", "eff");
+    // per-GPU tile budget held constant
+    let nt_per_sqrt_gpu = if full { 88 } else { 44 }; // NT at 384 GPUs
+    for nodes in [1usize, 4, 16, 64] {
+        let cluster = ClusterSpec::summit(nodes);
+        let g = cluster.total_gpus();
+        let nt = (nt_per_sqrt_gpu as f64 * (g as f64 / 384.0).sqrt()).round() as usize;
+        let nt = nt.max(8);
+        let rep = simulate_cholesky(
+            &uniform_map(nt, Precision::Fp64),
+            &cluster,
+            CholeskySimOptions { nb, strategy: Strategy::Auto },
+        );
+        let peak = cluster.peak_tflops(Precision::Fp64);
+        println!(
+            "{nodes:>6} {g:>6} {:>9} {:>11.1} {:>11.1} {:>7.1}%",
+            nt * nb,
+            rep.tflops(),
+            peak,
+            100.0 * rep.tflops() / peak
+        );
+    }
+    println!("paper shape: near-linear growth in sustained Tflop/s.\n");
+}
+
+fn strong(nb: usize, full: bool) {
+    let nt = if full { 390 } else { 120 }; // paper: 798,720 / 2048 = 390
+    println!("--- Fig 12b: strong scalability (matrix {} fixed, FP64, STC) ---", nt * nb);
+    println!("{:>6} {:>6} {:>11} {:>9}", "nodes", "GPUs", "Tflop/s", "speedup");
+    let mut base = 0.0;
+    for nodes in [4usize, 16, 64] {
+        let cluster = ClusterSpec::summit(nodes);
+        let rep = simulate_cholesky(
+            &uniform_map(nt, Precision::Fp64),
+            &cluster,
+            CholeskySimOptions { nb, strategy: Strategy::Auto },
+        );
+        if base == 0.0 {
+            base = rep.tflops();
+        }
+        println!(
+            "{nodes:>6} {:>6} {:>11.1} {:>8.2}x",
+            cluster.total_gpus(),
+            rep.tflops(),
+            rep.tflops() / base
+        );
+    }
+    println!("paper shape: strong scaling that falls slightly short of linear at 384");
+    println!("GPUs (running out of work; higher communication/runtime overheads).\n");
+}
+
+fn mp_effect(nb: usize, full: bool) {
+    let nodes = 64;
+    let cluster = ClusterSpec::summit(nodes);
+    println!("--- Fig 12c: MP effect on {nodes} nodes (384 GPUs) ---");
+    let peak64 = cluster.peak_tflops(Precision::Fp64);
+    let peak32 = cluster.peak_tflops(Precision::Fp32);
+    println!("peaks: FP64 {peak64:.0}, FP32 {peak32:.0} Tflop/s\n");
+    println!(
+        "{:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "matrix", "FP64", "FP32", "2D-sqexp", "2D-Matérn", "3D-sqexp"
+    );
+    let nts: &[usize] = if full { &[130, 260, 390] } else { &[60, 90, 120] };
+    let mut last: Vec<f64> = Vec::new();
+    for &nt in nts {
+        let o = CholeskySimOptions { nb, strategy: Strategy::Auto };
+        let f64t = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cluster, o).tflops();
+        let f32t = simulate_cholesky(&uniform_map(nt, Precision::Fp32), &cluster, o).tflops();
+        let mut row = vec![f64t, f32t];
+        for app in App::ALL {
+            let pmap = approx_precision_map(app, nt * nb, nb, app.accuracy(), 8, 13);
+            row.push(simulate_cholesky(&pmap, &cluster, o).tflops());
+        }
+        println!(
+            "{:>9} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>10.0}",
+            nt * nb, row[0], row[1], row[2], row[3], row[4]
+        );
+        last = row;
+    }
+    if !last.is_empty() {
+        println!("\nat the largest size: FP64 efficiency {:.1}% of peak; speedups vs FP64:", 100.0 * last[0] / peak64);
+        for (i, lbl) in ["FP32", "2D-sqexp", "2D-Matérn", "3D-sqexp"].iter().enumerate() {
+            println!("  {lbl:<10} {:.2}x", last[i + 1] / last[0]);
+        }
+    }
+    println!("\npaper shape: FP64 baseline ~68% of peak; applications beat FP32 as the");
+    println!("matrix grows; up to 3.2x vs FP64; 2D-sqexp fastest (most FP16 tiles),");
+    println!("3D-sqexp slowest.");
+}
+
+fn main() {
+    let args = Args::parse();
+    let nb = args.get_usize("nb", 2048);
+    let full = args.get_flag("full");
+    let mode = args.get_str("mode", "all");
+    println!("Fig 12: performance evaluation on (simulated) Summit\n");
+    if mode == "weak" || mode == "all" {
+        weak(nb, full);
+    }
+    if mode == "strong" || mode == "all" {
+        strong(nb, full);
+    }
+    if mode == "mp" || mode == "all" {
+        mp_effect(nb, full);
+    }
+}

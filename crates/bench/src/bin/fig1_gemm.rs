@@ -1,0 +1,95 @@
+//! Fig 1 reproduction: GEMM accuracy and performance per precision format
+//! on V100 / A100 / H100.
+//!
+//! * **Accuracy** (Figs 1a–1c, "lower is better") — *real computation*: the
+//!   emulated-precision GEMMs of `mixedp-kernels` on random data, compared
+//!   to FP64 with the relative Frobenius norm.
+//! * **Performance** (Figs 1d–1f, "higher is better") — the calibrated
+//!   kernel-time model (datatype conversion included for the 16-bit input
+//!   modes, as in the paper).
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin fig1_gemm [--nmax=1024]`
+
+use mixedp_bench::Args;
+use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_gpusim::{convert_time_s, kernel_time_s, GpuGeneration, SimKernel};
+use mixedp_kernels::{gemm_relative_error, gemm_tile};
+use mixedp_tile::Tile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PRECISIONS: [Precision; 6] = [
+    Precision::Fp64,
+    Precision::Fp32,
+    Precision::Tf32,
+    Precision::Fp16x32,
+    Precision::Bf16x32,
+    Precision::Fp16,
+];
+
+fn rand_tile(m: usize, k: usize, rng: &mut StdRng) -> Tile {
+    let d: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tile::from_f64(m, k, &d, StoragePrecision::F64)
+}
+
+fn main() {
+    let args = Args::parse();
+    let nmax = args.get_usize("nmax", 1024);
+
+    println!("=== Fig 1 (accuracy): relative F-norm error of GEMM vs FP64 ===");
+    println!("(real emulated-precision computation on random data in [-1, 1])\n");
+    let mut rng = StdRng::seed_from_u64(1);
+    print!("{:>6}", "n");
+    for p in PRECISIONS.iter().skip(1) {
+        print!(" {:>12}", p.label());
+    }
+    println!();
+    let mut n = 128;
+    while n <= nmax {
+        let a = rand_tile(n, n, &mut rng);
+        let b = rand_tile(n, n, &mut rng);
+        let mut c_ref = Tile::zeros(n, n, StoragePrecision::F64);
+        gemm_tile(Precision::Fp64, &a, &b, &mut c_ref);
+        print!("{n:>6}");
+        for &p in PRECISIONS.iter().skip(1) {
+            let mut c = Tile::zeros(n, n, StoragePrecision::F64);
+            gemm_tile(p, &a, &b, &mut c);
+            print!(" {:>12.3e}", gemm_relative_error(&c, &c_ref));
+        }
+        println!();
+        n *= 2;
+    }
+    println!("\npaper shape: FP32 ~1e-7, TF32/FP16_32/BF16_32 grouped ~1e-3..1e-4,");
+    println!("FP16 worst (fp16 accumulation), errors grow slowly with n.");
+
+    println!("\n=== Fig 1 (performance): modeled GEMM Tflop/s, conversion included ===\n");
+    for g in GpuGeneration::ALL {
+        let spec = g.spec();
+        println!("--- {} ---", g.label());
+        print!("{:>6}", "n");
+        for p in PRECISIONS {
+            print!(" {:>9}", p.label());
+        }
+        println!();
+        for n in [2048usize, 4096, 6144, 8192, 10240] {
+            print!("{n:>6}");
+            for p in PRECISIONS {
+                let mut t = kernel_time_s(&spec, SimKernel::Gemm, p, n);
+                // conversion cost for modes whose inputs need narrowing
+                if p.input_bytes() < 4 || p == Precision::Tf32 {
+                    t += 2.0 * convert_time_s(&spec, (n * n) as u64, 4, p.input_bytes());
+                }
+                let tflops = 2.0 * (n as f64).powi(3) / t / 1e12;
+                print!(" {tflops:>9.1}");
+            }
+            println!();
+        }
+        print!("peak: ");
+        for p in PRECISIONS {
+            print!(" {:>9.1}", spec.peak_tflops(p));
+        }
+        println!("\n");
+    }
+    println!("paper shape: near-peak at large n for every format; tensor-core modes");
+    println!("need larger n to saturate; H100 sustains ~82% of its GEMM peak.");
+}

@@ -1,0 +1,90 @@
+//! Fig 5 reproduction: Monte-Carlo parameter estimation for 2D synthetic
+//! datasets (squared exponential + Matérn) under different mixed-precision
+//! accuracy levels, reported as boxplots per parameter.
+//!
+//! Real computation end to end: synthetic fields, adaptive mixed-precision
+//! factorization per likelihood evaluation, derivative-free maximization.
+//!
+//! Paper scale is 100 replicas × 40,000 locations on Summit; the default
+//! here is sized for a laptop core (see EXPERIMENTS.md) — raise `--n` and
+//! `--reps` to approach paper scale.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin fig5_estimation_2d \
+//!       [--n=256] [--reps=5] [--nb=64] [--evals=250] [--quick]`
+
+use mixedp_bench::Args;
+use mixedp_core::MpBackend;
+use mixedp_geostats::loglik::{ExactBackend, LoglikBackend};
+use mixedp_geostats::{
+    gen_locations_2d, run_monte_carlo, CovarianceModel, Matern2d, MleConfig, MonteCarloConfig,
+    SqExp,
+};
+
+fn run_config(
+    label: &str,
+    model: &dyn CovarianceModel,
+    theta_true: &[f64],
+    n: usize,
+    reps: usize,
+    nb: usize,
+    evals: usize,
+    accuracies: &[f64],
+) {
+    println!("--- {label}: theta_true = {theta_true:?} (n={n}, {reps} replicas) ---");
+    let mut mle = MleConfig::paper_defaults(model.nparams());
+    mle.optimizer.max_evals = evals;
+    mle.optimizer.tol = 1e-9;
+    let cfg = MonteCarloConfig {
+        theta_true: theta_true.to_vec(),
+        replicas: reps,
+        seed: 42,
+        mle,
+    };
+
+    let mut backends: Vec<Box<dyn LoglikBackend>> = vec![Box::new(ExactBackend)];
+    for &a in accuracies {
+        backends.push(Box::new(MpBackend::new(a, nb, 1)));
+    }
+    for be in &backends {
+        let r = run_monte_carlo(model, n, |n, rng| gen_locations_2d(n, rng), &cfg, be.as_ref());
+        print!("  accuracy {:>8}:", be.label());
+        if r.non_converged > 0 {
+            print!(" [budget-limited: {}]", r.non_converged);
+        }
+        println!();
+        for (p, bp) in model.param_names().iter().zip(&r.boxplots) {
+            println!("    {:<8} {}", p, bp.to_row());
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let n = args.get_usize("n", if quick { 144 } else { 256 });
+    let reps = args.get_usize("reps", if quick { 3 } else { 5 });
+    let nb = args.get_usize("nb", 64);
+    let evals = args.get_usize("evals", if quick { 120 } else { 250 });
+
+    println!("Fig 5: parameter estimation for 2D synthetic datasets");
+    println!("(solid-green-line equivalent: the true value; paper: Fig 5)\n");
+
+    let sq = SqExp::new2d();
+    // rows 1-2 of Fig 5: 2D-sqexp, weak and strong correlation
+    run_config("2D-sqexp weak (β=0.03)", &sq, &[1.0, 0.03], n, reps, nb, evals, &[1e-9, 1e-4]);
+    run_config("2D-sqexp strong (β=0.3)", &sq, &[1.0, 0.3], n, reps, nb, evals, &[1e-9, 1e-4]);
+
+    let mt = Matern2d;
+    // rows 1-4 of Fig 5: 2D-Matérn, weak/strong × rough/smooth
+    run_config("2D-Matérn weak/rough (β=0.03, ν=0.5)", &mt, &[1.0, 0.03, 0.5], n, reps, nb, evals, &[1e-9, 1e-4]);
+    run_config("2D-Matérn weak/smooth (β=0.03, ν=1)", &mt, &[1.0, 0.03, 1.0], n, reps, nb, evals, &[1e-9, 1e-4]);
+    if !quick {
+        run_config("2D-Matérn strong/rough (β=0.3, ν=0.5)", &mt, &[1.0, 0.3, 0.5], n, reps, nb, evals, &[1e-9, 1e-4]);
+        run_config("2D-Matérn strong/smooth (β=0.3, ν=1)", &mt, &[1.0, 0.3, 1.0], n, reps, nb, evals, &[1e-9, 1e-4]);
+    }
+
+    println!("paper shape: accuracy 1e-9 ≈ exact for both kernels; 1e-4 still");
+    println!("acceptable for sqexp but visibly degraded for Matérn (only 1e-9 meets");
+    println!("its required precision).");
+}

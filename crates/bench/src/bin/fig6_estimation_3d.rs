@@ -1,0 +1,48 @@
+//! Fig 6 reproduction: Monte-Carlo parameter estimation for 3D synthetic
+//! datasets (squared exponential) under mixed-precision accuracy levels.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin fig6_estimation_3d \
+//!       [--n=256] [--reps=5] [--nb=64] [--evals=250]`
+
+use mixedp_bench::Args;
+use mixedp_core::MpBackend;
+use mixedp_geostats::loglik::{ExactBackend, LoglikBackend};
+use mixedp_geostats::{gen_locations_3d, run_monte_carlo, CovarianceModel, MleConfig, MonteCarloConfig, SqExp};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 256);
+    let reps = args.get_usize("reps", 5);
+    let nb = args.get_usize("nb", 64);
+    let evals = args.get_usize("evals", 250);
+
+    println!("Fig 6: parameter estimation for 3D synthetic datasets (3D-sqexp)\n");
+    let model = SqExp::new3d();
+    for (label, theta_true) in [
+        ("3D-sqexp weak (β=0.03)", [1.0, 0.03]),
+        ("3D-sqexp strong (β=0.3)", [1.0, 0.3]),
+    ] {
+        println!("--- {label} (n={n}, {reps} replicas) ---");
+        let mut mle = MleConfig::paper_defaults(2);
+        mle.optimizer.max_evals = evals;
+        let cfg = MonteCarloConfig {
+            theta_true: theta_true.to_vec(),
+            replicas: reps,
+            seed: 77,
+            mle,
+        };
+        let mut backends: Vec<Box<dyn LoglikBackend>> = vec![Box::new(ExactBackend)];
+        for a in [1e-8, 1e-4] {
+            backends.push(Box::new(MpBackend::new(a, nb, 1)));
+        }
+        for be in &backends {
+            let r = run_monte_carlo(&model, n, |n, rng| gen_locations_3d(n, rng), &cfg, be.as_ref());
+            println!("  accuracy {:>8}:", be.label());
+            for (p, bp) in model.param_names().iter().zip(&r.boxplots) {
+                println!("    {:<8} {}", p, bp.to_row());
+            }
+        }
+        println!();
+    }
+    println!("paper shape: accuracy 1e-8 yields estimates closely matching exact.");
+}

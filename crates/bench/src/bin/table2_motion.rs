@@ -1,0 +1,85 @@
+//! Table II reproduction: time to move one tile/matrix to a V100 and to
+//! execute a GEMM on it, per precision (milliseconds) — model vs paper.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin table2_motion`
+
+use mixedp_fp::Precision;
+use mixedp_gpusim::{kernel_time_s, xfer_time_s, GpuGeneration, SimKernel};
+
+const SIZES: [usize; 5] = [2048, 4096, 6144, 8192, 10240];
+
+/// Paper Table II (ms): rows = move FP64/32/16, GEMM FP64/32/16.
+const PAPER: [[f64; 5]; 6] = [
+    [0.67, 2.68, 6.04, 10.74, 16.78],
+    [0.34, 1.34, 3.02, 5.37, 8.39],
+    [0.17, 0.67, 1.51, 2.68, 4.19],
+    [2.2, 17.62, 59.47, 140.96, 275.32],
+    [1.09, 8.75, 29.54, 70.03, 136.78],
+    [0.14, 1.1, 3.71, 8.8, 17.18],
+];
+
+fn main() {
+    let v100 = GpuGeneration::V100.spec();
+    println!("Table II: time on one Summit V100 (milliseconds), model vs paper\n");
+    print!("{:<34}", "Row");
+    for n in SIZES {
+        print!(" {n:>16}");
+    }
+    println!();
+
+    let rows: Vec<(String, Vec<f64>)> = vec![
+        (
+            "Move one tile/matrix in FP64".into(),
+            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 8) as u64) * 1e3).collect(),
+        ),
+        (
+            "Move one tile/matrix in FP32".into(),
+            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 4) as u64) * 1e3).collect(),
+        ),
+        (
+            "Move one tile/matrix in FP16".into(),
+            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 2) as u64) * 1e3).collect(),
+        ),
+        (
+            "Execute GEMM in FP64".into(),
+            SIZES
+                .iter()
+                .map(|&n| kernel_time_s(&v100, SimKernel::Gemm, Precision::Fp64, n) * 1e3)
+                .collect(),
+        ),
+        (
+            "Execute GEMM in FP32".into(),
+            SIZES
+                .iter()
+                .map(|&n| kernel_time_s(&v100, SimKernel::Gemm, Precision::Fp32, n) * 1e3)
+                .collect(),
+        ),
+        (
+            "Execute GEMM in FP16".into(),
+            SIZES
+                .iter()
+                .map(|&n| kernel_time_s(&v100, SimKernel::Gemm, Precision::Fp16, n) * 1e3)
+                .collect(),
+        ),
+    ];
+
+    let mut worst = 0.0f64;
+    for (r, (label, vals)) in rows.iter().enumerate() {
+        print!("{label:<34}");
+        for (c, v) in vals.iter().enumerate() {
+            let paper = PAPER[r][c];
+            let rel = (v - paper).abs() / paper;
+            worst = worst.max(rel);
+            print!(" {v:>7.2} ({paper:>5.2})");
+        }
+        println!();
+    }
+    println!("\n(model value, paper value in parens); worst relative deviation: {:.1}%", worst * 100.0);
+    println!("takeaway (paper §VI): moving data can dwarf GEMM time at low precision —");
+    let move16 = xfer_time_s(&v100, 10240u64 * 10240 * 8) * 1e3;
+    let gemm16 = kernel_time_s(&v100, SimKernel::Gemm, Precision::Fp16, 10240) * 1e3;
+    println!(
+        "e.g. moving a 10240² tile in FP64 ({move16:.1} ms) ≈ {:.1}× its FP16 GEMM ({gemm16:.1} ms).",
+        move16 / gemm16
+    );
+}

@@ -1,0 +1,8 @@
+//! Shared harness code for the table/figure reproduction binaries and the
+//! criterion benches (see DESIGN.md §4 for the experiment index).
+
+pub mod apps;
+pub mod args;
+
+pub use apps::{approx_precision_map, App};
+pub use args::Args;

@@ -1,0 +1,310 @@
+//! Distributed-memory numerical execution: Algorithm 1 with *real wire
+//! quantization* on cross-rank payloads.
+//!
+//! The shared-memory factorization ([`crate::factorize`]) models the kernel
+//! arithmetic but not the communications. Here tiles are owned by ranks of
+//! a 2D block-cyclic [`Grid2d`] (owner-computes), and every dependency that
+//! crosses ranks is **quantized through its wire precision** before the
+//! consumer reads it — exactly what the runtime's typed messages do. This
+//! makes the accuracy consequences of the conversion policies measurable:
+//!
+//! * [`WirePolicy::Ttc`] — ship storage precision: cross-rank payloads are
+//!   bit-identical to the owner's tile (storage quantization is the
+//!   identity on stored data), so the distributed result equals the
+//!   shared-memory result *exactly*.
+//! * [`WirePolicy::Auto`] — Algorithm 2's plan: STC tiles ship at the
+//!   planned (lower) precision; the FP64 diagonal consumers of those tiles
+//!   see slightly degraded panels.
+//! * [`WirePolicy::AlwaysLowest`] — the strawman the paper argues against
+//!   in §VI ("consistently downgrading to the lowest precision could
+//!   further reduce GPU data transfer, but it might also unnecessarily
+//!   compromise the accuracy"): every payload ships FP16.
+//!
+//! The `ext_stc_accuracy` binary quantifies the three against each other.
+
+use crate::conversion::{plan_conversions, ConversionPlan};
+use crate::precision_map::PrecisionMap;
+use mixedp_fp::{comm_of_storage, CommPrecision};
+use mixedp_kernels::{blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, trsm_tile};
+use mixedp_runtime::execute_serial;
+use mixedp_tile::{Grid2d, SymmTileMatrix, Tile};
+use std::collections::HashMap;
+
+/// Wire-precision policy for cross-rank payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePolicy {
+    /// Ship storage precision (receiver converts): lossless on the wire.
+    Ttc,
+    /// Algorithm 2's automated plan (STC where beneficial).
+    Auto,
+    /// Always ship FP16 (the §VI strawman).
+    AlwaysLowest,
+}
+
+/// Communication statistics of a distributed numerical run.
+#[derive(Debug, Clone, Default)]
+pub struct DistStats {
+    /// Cross-rank messages sent (one per remote (tile, consumer-rank) pair).
+    pub messages: u64,
+    /// Bytes shipped across ranks.
+    pub wire_bytes: u64,
+    /// Bytes that TTC (storage-precision wire) would have shipped.
+    pub ttc_bytes: u64,
+}
+
+/// Wire precision for broadcasts from tile `(i, j)` under a policy.
+fn wire_of(
+    plan: &ConversionPlan,
+    pmap: &PrecisionMap,
+    policy: WirePolicy,
+    i: usize,
+    j: usize,
+) -> CommPrecision {
+    match policy {
+        WirePolicy::Ttc => comm_of_storage(pmap.storage(i, j)),
+        WirePolicy::Auto => plan.comm(i, j),
+        WirePolicy::AlwaysLowest => CommPrecision::Fp16,
+    }
+}
+
+/// Quantize a tile payload through a wire precision (a genuine narrowing:
+/// the consumer sees the degraded values).
+fn through_wire(t: &Tile, wire: CommPrecision) -> Tile {
+    let narrowed = t.converted_to(wire.as_storage());
+    // the receiver materializes it back at the tile's storage precision
+    narrowed.converted_to(t.storage())
+}
+
+/// Distributed mixed-precision factorization over `grid`. Serial,
+/// deterministic execution (the DAG order is the dependency-respecting
+/// priority order); cross-rank reads are wire-quantized per `policy`.
+pub fn factorize_mp_distributed(
+    a: &mut SymmTileMatrix,
+    pmap: &PrecisionMap,
+    grid: &Grid2d,
+    policy: WirePolicy,
+) -> Result<DistStats, NotSpd> {
+    let nt = a.nt();
+    assert_eq!(pmap.nt(), nt);
+    let plan = plan_conversions(pmap);
+    let dag = crate::factorize::build_dag(nt);
+    let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+
+    let mut tiles: Vec<Tile> = Vec::with_capacity(nt * (nt + 1) / 2);
+    for i in 0..nt {
+        for j in 0..=i {
+            tiles.push(a.tile(i, j).clone());
+        }
+    }
+    // received copies: (consumer_rank, tile_index) -> wire-degraded tile,
+    // valid for the current version (panel tiles are final once TRSM ran,
+    // and diagonal L_kk is final once POTRF ran — the only communicated
+    // tiles, so no invalidation is needed).
+    let mut inbox: HashMap<(usize, usize), Tile> = HashMap::new();
+    let mut stats = DistStats::default();
+    let mut failure: Option<usize> = None;
+
+    // Fetch tile (si, sj) for a consumer task running on `rank`.
+    macro_rules! fetch {
+        ($tiles:expr, $inbox:expr, $stats:expr, $si:expr, $sj:expr, $rank:expr) => {{
+            let owner = grid.rank_of($si, $sj);
+            if owner == $rank {
+                $tiles[idx($si, $sj)].clone()
+            } else {
+                let key = ($rank, idx($si, $sj));
+                if let Some(t) = $inbox.get(&key) {
+                    t.clone()
+                } else {
+                    let src = &$tiles[idx($si, $sj)];
+                    let wire = wire_of(&plan, pmap, policy, $si, $sj);
+                    let elems = src.len() as u64;
+                    $stats.messages += 1;
+                    $stats.wire_bytes += elems * wire.bytes() as u64;
+                    $stats.ttc_bytes +=
+                        elems * comm_of_storage(pmap.storage($si, $sj)).bytes() as u64;
+                    let recv = through_wire(src, wire);
+                    $inbox.insert(key, recv.clone());
+                    recv
+                }
+            }
+        }};
+    }
+
+    execute_serial(&dag.graph, |id| {
+        if failure.is_some() {
+            return;
+        }
+        use crate::factorize::CholeskyTask::*;
+        match dag.tasks[id] {
+            Potrf { k } => {
+                let mut c = tiles[idx(k, k)].clone();
+                if potrf_tile(&mut c).is_err() {
+                    failure = Some(k);
+                    return;
+                }
+                tiles[idx(k, k)] = c;
+            }
+            Trsm { m, k } => {
+                let rank = grid.rank_of(m, k);
+                let l = fetch!(tiles, inbox, stats, k, k, rank);
+                let mut b = tiles[idx(m, k)].clone();
+                trsm_tile(pmap.kernel(m, k), &l, &mut b);
+                tiles[idx(m, k)] = b;
+            }
+            Syrk { m, k } => {
+                let rank = grid.rank_of(m, m);
+                let p = fetch!(tiles, inbox, stats, m, k, rank);
+                let mut c = tiles[idx(m, m)].clone();
+                syrk_tile(&p, &mut c);
+                tiles[idx(m, m)] = c;
+            }
+            Gemm { m, n, k } => {
+                let rank = grid.rank_of(m, n);
+                let pa = fetch!(tiles, inbox, stats, m, k, rank);
+                let pb = fetch!(tiles, inbox, stats, n, k, rank);
+                let mut c = tiles[idx(m, n)].clone();
+                gemm_tile(pmap.kernel(m, n), &pa, &pb, &mut c);
+                tiles[idx(m, n)] = c;
+            }
+        }
+    });
+
+    if let Some(k) = failure {
+        return Err(NotSpd { column: k * a.nb() });
+    }
+    let mut it = tiles.into_iter();
+    for i in 0..nt {
+        for j in 0..=i {
+            *a.tile_mut(i, j) = it.next().unwrap().converted_to(pmap.storage(i, j));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorize::factorize_mp;
+    use crate::precision_map::uniform_map;
+    use mixedp_fp::{Precision, StoragePrecision};
+    use mixedp_kernels::reconstruction_error;
+    use mixedp_tile::tile_fro_norms;
+
+    fn spd_matrix(n: usize, nb: usize) -> SymmTileMatrix {
+        SymmTileMatrix::from_fn(
+            n,
+            nb,
+            |i, j| {
+                let d = (i as f64 - j as f64).abs();
+                (-0.1 * d).exp() + if i == j { 0.6 } else { 0.0 }
+            },
+            |_, _| StoragePrecision::F64,
+        )
+    }
+
+    #[test]
+    fn single_rank_matches_shared_memory_exactly() {
+        let a0 = spd_matrix(64, 16);
+        let m = uniform_map(a0.nt(), Precision::Fp16x32);
+        let mut shared = a0.clone();
+        factorize_mp(&mut shared, &m, 1).unwrap();
+        let mut dist = a0.clone();
+        let stats =
+            factorize_mp_distributed(&mut dist, &m, &Grid2d::new(1, 1), WirePolicy::Auto).unwrap();
+        assert_eq!(stats.messages, 0, "single rank sends nothing");
+        for i in 0..64 {
+            for j in 0..=i {
+                assert_eq!(shared.get(i, j), dist.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn ttc_wire_is_lossless() {
+        // storage-precision payloads are bit-identical to the owner's tile,
+        // so distributed-TTC ≡ shared-memory on any grid
+        let a0 = spd_matrix(80, 16);
+        let m = uniform_map(a0.nt(), Precision::Fp16);
+        let mut shared = a0.clone();
+        factorize_mp(&mut shared, &m, 1).unwrap();
+        let mut dist = a0.clone();
+        let stats =
+            factorize_mp_distributed(&mut dist, &m, &Grid2d::new(2, 3), WirePolicy::Ttc).unwrap();
+        assert!(stats.messages > 0);
+        assert_eq!(stats.wire_bytes, stats.ttc_bytes);
+        for i in 0..80 {
+            for j in 0..=i {
+                assert_eq!(shared.get(i, j), dist.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_ships_fewer_bytes_with_bounded_accuracy_cost() {
+        let a0 = spd_matrix(96, 16);
+        let dense = a0.to_dense_symmetric();
+        let norms = tile_fro_norms(&a0);
+        let m = PrecisionMap::from_norms(&norms, 1e-6, &Precision::ADAPTIVE_SET);
+        let grid = Grid2d::new(2, 2);
+
+        let run = |policy: WirePolicy| {
+            let mut a = a0.clone();
+            let s = factorize_mp_distributed(&mut a, &m, &grid, policy).unwrap();
+            (reconstruction_error(&dense, &a.to_dense_lower()), s)
+        };
+        let (err_ttc, s_ttc) = run(WirePolicy::Ttc);
+        let (err_auto, s_auto) = run(WirePolicy::Auto);
+        let (err_low, s_low) = run(WirePolicy::AlwaysLowest);
+
+        // bytes: lowest ≤ auto ≤ ttc
+        assert!(s_auto.wire_bytes <= s_ttc.wire_bytes);
+        assert!(s_low.wire_bytes <= s_auto.wire_bytes);
+        // accuracy: auto stays within a small factor of TTC...
+        assert!(
+            err_auto <= err_ttc * 10.0 + 1e-12,
+            "auto {err_auto:e} vs ttc {err_ttc:e}"
+        );
+        // ...while the always-lowest strawman is measurably worse than auto
+        assert!(
+            err_low >= err_auto,
+            "always-lowest {err_low:e} should not beat auto {err_auto:e}"
+        );
+    }
+
+    #[test]
+    fn always_lowest_degrades_fp64_configuration_badly() {
+        // under a full-FP64 map, AUTO ships (nearly) full precision, but
+        // AlwaysLowest crushes every payload to FP16 — the §VI warning.
+        let a0 = spd_matrix(64, 16);
+        let dense = a0.to_dense_symmetric();
+        let m = uniform_map(a0.nt(), Precision::Fp64);
+        let grid = Grid2d::new(2, 2);
+        let run = |policy: WirePolicy| {
+            let mut a = a0.clone();
+            factorize_mp_distributed(&mut a, &m, &grid, policy).unwrap();
+            reconstruction_error(&dense, &a.to_dense_lower())
+        };
+        let err_auto = run(WirePolicy::Auto);
+        let err_low = run(WirePolicy::AlwaysLowest);
+        assert!(err_auto < 1e-10, "auto on FP64 map: {err_auto:e}");
+        assert!(
+            err_low > err_auto * 100.0,
+            "always-lowest must be much worse: {err_low:e} vs {err_auto:e}"
+        );
+    }
+
+    #[test]
+    fn grid_shape_does_not_change_ttc_result() {
+        let a0 = spd_matrix(60, 12);
+        let m = uniform_map(a0.nt(), Precision::Fp32);
+        let mut r1 = a0.clone();
+        factorize_mp_distributed(&mut r1, &m, &Grid2d::new(1, 4), WirePolicy::Ttc).unwrap();
+        let mut r2 = a0.clone();
+        factorize_mp_distributed(&mut r2, &m, &Grid2d::new(2, 2), WirePolicy::Ttc).unwrap();
+        for i in 0..60 {
+            for j in 0..=i {
+                assert_eq!(r1.get(i, j), r2.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Algorithm 1: the adaptive mixed-precision tile Cholesky, executed for
+//! real on the task runtime (numerical mode).
+//!
+//! The DAG matches the paper's Fig 3: `POTRF(k,k)` releases the TRSMs of
+//! column `k`; `TRSM(m,k)` releases the SYRK on `(m,m)` and the GEMMs it
+//! feeds in row/column `m`; in-place tile updates serialize through their
+//! last writer. Kernel precisions come from the [`PrecisionMap`]; every
+//! kernel's arithmetic follows its format exactly (`mixedp-kernels`), so
+//! the factor and everything downstream (log-likelihoods, parameter
+//! estimates) carry genuine mixed-precision rounding.
+
+use crate::precision_map::PrecisionMap;
+use mixedp_kernels::{blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, trsm_tile, KernelKind};
+use mixedp_runtime::{execute_parallel, execute_serial, TaskGraph, TaskId};
+use mixedp_tile::{SymmTileMatrix, Tile};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One kernel instance of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyTask {
+    Potrf { k: usize },
+    Trsm { m: usize, k: usize },
+    Syrk { m: usize, k: usize },
+    Gemm { m: usize, n: usize, k: usize },
+}
+
+impl CholeskyTask {
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            CholeskyTask::Potrf { .. } => KernelKind::Potrf,
+            CholeskyTask::Trsm { .. } => KernelKind::Trsm,
+            CholeskyTask::Syrk { .. } => KernelKind::Syrk,
+            CholeskyTask::Gemm { .. } => KernelKind::Gemm,
+        }
+    }
+}
+
+/// The Cholesky DAG: the task graph plus each task's payload.
+pub struct CholeskyDag {
+    pub graph: TaskGraph,
+    pub tasks: Vec<CholeskyTask>,
+}
+
+/// Build the Algorithm 1 DAG for `nt × nt` tiles. Priorities follow the
+/// panel-first policy PaRSEC uses for tile Cholesky: everything in
+/// iteration `k` outranks iteration `k+1`, and within an iteration
+/// POTRF > TRSM > SYRK > GEMM.
+pub fn build_dag(nt: usize) -> CholeskyDag {
+    let mut graph = TaskGraph::with_capacity(nt * nt * nt / 6 + nt * nt);
+    let mut tasks = Vec::new();
+    // last writer of each tile (lower-packed)
+    let mut last_write: Vec<Option<TaskId>> = vec![None; nt * (nt + 1) / 2];
+    let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+    // the task that finalized panel tile (m, k) (its TRSM), for reader deps
+    let mut trsm_of: Vec<Option<TaskId>> = vec![None; nt * (nt + 1) / 2];
+
+    let prio = |k: usize, class: i64| ((nt - k) as i64) * 10 + class;
+
+    for k in 0..nt {
+        // POTRF(k, k)
+        let mut deps = Vec::new();
+        if let Some(w) = last_write[idx(k, k)] {
+            deps.push(w);
+        }
+        let potrf = graph.add_task(deps, prio(k, 3));
+        tasks.push(CholeskyTask::Potrf { k });
+        last_write[idx(k, k)] = Some(potrf);
+
+        for m in (k + 1)..nt {
+            // TRSM(m, k): reads L(k,k), updates (m,k) in place
+            let mut deps = vec![potrf];
+            if let Some(w) = last_write[idx(m, k)] {
+                deps.push(w);
+            }
+            let trsm = graph.add_task(deps, prio(k, 2));
+            tasks.push(CholeskyTask::Trsm { m, k });
+            last_write[idx(m, k)] = Some(trsm);
+            trsm_of[idx(m, k)] = Some(trsm);
+        }
+        for m in (k + 1)..nt {
+            // SYRK(m, k): reads (m,k), updates (m,m)
+            let mut deps = vec![trsm_of[idx(m, k)].unwrap()];
+            if let Some(w) = last_write[idx(m, m)] {
+                deps.push(w);
+            }
+            let syrk = graph.add_task(deps, prio(k, 1));
+            tasks.push(CholeskyTask::Syrk { m, k });
+            last_write[idx(m, m)] = Some(syrk);
+
+            // GEMM(m, n, k) for n in k+1..m: reads (m,k), (n,k); updates (m,n)
+            for n in (k + 1)..m {
+                let mut deps = vec![
+                    trsm_of[idx(m, k)].unwrap(),
+                    trsm_of[idx(n, k)].unwrap(),
+                ];
+                if let Some(w) = last_write[idx(m, n)] {
+                    deps.push(w);
+                }
+                let gemm = graph.add_task(deps, prio(k, 0));
+                tasks.push(CholeskyTask::Gemm { m, n, k });
+                last_write[idx(m, n)] = Some(gemm);
+            }
+        }
+    }
+    CholeskyDag { graph, tasks }
+}
+
+/// Statistics of a numerical factorization run.
+#[derive(Debug, Clone)]
+pub struct FactorStats {
+    pub tasks_run: usize,
+    pub kernel_counts: [usize; 4], // potrf, trsm, syrk, gemm
+    pub wall_s: f64,
+    /// Storage bytes of the factored matrix under the map vs full FP64.
+    pub storage_bytes_mp: u64,
+    pub storage_bytes_fp64: u64,
+}
+
+/// Factor `a` in place under `pmap` using `nthreads` workers (1 = the
+/// deterministic serial scheduler). Returns stats; the matrix holds `L`
+/// tile-wise (each tile in its storage precision) on success.
+pub fn factorize_mp(
+    a: &mut SymmTileMatrix,
+    pmap: &PrecisionMap,
+    nthreads: usize,
+) -> Result<FactorStats, NotSpd> {
+    let nt = a.nt();
+    assert_eq!(pmap.nt(), nt, "precision map / matrix mismatch");
+    let dag = build_dag(nt);
+    let (mp_bytes, fp64_bytes) = pmap.storage_bytes(a.nb());
+
+    // Move tiles into per-tile RwLocks for concurrent kernel execution.
+    let n = a.n();
+    let nb = a.nb();
+    let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(nt * (nt + 1) / 2);
+    for i in 0..nt {
+        for j in 0..=i {
+            cells.push(RwLock::new(a.tile(i, j).clone()));
+        }
+    }
+    let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+    let failure = AtomicUsize::new(usize::MAX);
+
+    let run_task = |t: &CholeskyTask| {
+        if failure.load(Ordering::Relaxed) != usize::MAX {
+            return; // SPD failure observed: drain remaining tasks as no-ops
+        }
+        match *t {
+            CholeskyTask::Potrf { k } => {
+                let mut c = cells[idx(k, k)].write();
+                if potrf_tile(&mut c).is_err() {
+                    failure.store(k, Ordering::Relaxed);
+                }
+            }
+            CholeskyTask::Trsm { m, k } => {
+                let l = cells[idx(k, k)].read();
+                let mut b = cells[idx(m, k)].write();
+                trsm_tile(pmap.kernel(m, k), &l, &mut b);
+            }
+            CholeskyTask::Syrk { m, k } => {
+                let a_in = cells[idx(m, k)].read();
+                let mut c = cells[idx(m, m)].write();
+                syrk_tile(&a_in, &mut c);
+            }
+            CholeskyTask::Gemm { m, n, k } => {
+                let ai = cells[idx(m, k)].read();
+                let bi = cells[idx(n, k)].read();
+                let mut c = cells[idx(m, n)].write();
+                gemm_tile(pmap.kernel(m, n), &ai, &bi, &mut c);
+            }
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    if nthreads <= 1 {
+        execute_serial(&dag.graph, |id| run_task(&dag.tasks[id]));
+    } else {
+        execute_parallel(&dag.graph, nthreads, |id| run_task(&dag.tasks[id]))
+            .expect("worker panicked during factorization");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let fail_col = failure.load(Ordering::Relaxed);
+    if fail_col != usize::MAX {
+        return Err(NotSpd {
+            column: fail_col * nb,
+        });
+    }
+
+    // Write tiles back, converting storage to the map's prescription (the
+    // factor tile keeps the storage precision of its map entry).
+    let mut cells_iter = cells.into_iter();
+    for i in 0..nt {
+        for j in 0..=i {
+            let tile = cells_iter.next().unwrap().into_inner();
+            *a.tile_mut(i, j) = tile.converted_to(pmap.storage(i, j));
+        }
+    }
+    let _ = n;
+
+    let mut counts = [0usize; 4];
+    for t in &dag.tasks {
+        match t.kind() {
+            KernelKind::Potrf => counts[0] += 1,
+            KernelKind::Trsm => counts[1] += 1,
+            KernelKind::Syrk => counts[2] += 1,
+            KernelKind::Gemm => counts[3] += 1,
+        }
+    }
+    Ok(FactorStats {
+        tasks_run: dag.tasks.len(),
+        kernel_counts: counts,
+        wall_s,
+        storage_bytes_mp: mp_bytes,
+        storage_bytes_fp64: fp64_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision_map::{uniform_map, PrecisionMap};
+    use mixedp_fp::{Precision, StoragePrecision};
+    use mixedp_kernels::reconstruction_error;
+    use mixedp_tile::tile_fro_norms;
+
+    fn spd_matrix(n: usize, nb: usize) -> SymmTileMatrix {
+        SymmTileMatrix::from_fn(
+            n,
+            nb,
+            |i, j| {
+                let d = (i as f64 - j as f64).abs();
+                (-0.08 * d).exp() + if i == j { 0.5 } else { 0.0 }
+            },
+            |_, _| StoragePrecision::F64,
+        )
+    }
+
+    #[test]
+    fn dag_task_count_is_cubic_formula() {
+        for nt in [1, 2, 3, 5, 8] {
+            let dag = build_dag(nt);
+            // POTRF: nt; TRSM: nt(nt-1)/2; SYRK: nt(nt-1)/2;
+            // GEMM: sum over k of (nt-k-1 choose 2) = nt(nt-1)(nt-2)/6
+            let expect = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6;
+            assert_eq!(dag.tasks.len(), expect, "nt={nt}");
+            assert_eq!(dag.graph.len(), expect);
+        }
+    }
+
+    #[test]
+    fn fp64_factorization_matches_reference() {
+        let n = 48;
+        let a0 = spd_matrix(n, 16);
+        let dense = a0.to_dense_symmetric();
+        let mut a = a0.clone();
+        let m = uniform_map(a.nt(), Precision::Fp64);
+        let stats = factorize_mp(&mut a, &m, 1).unwrap();
+        assert_eq!(stats.tasks_run, 3 + 6 + 1); // nt=3: 3 potrf + 3 trsm + 3 syrk + 1 gemm
+        let l = a.to_dense_lower();
+        let err = reconstruction_error(&dense, &l);
+        assert!(err < 1e-13, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_fp64_exactly() {
+        // FP64 tile kernels do identical arithmetic regardless of
+        // interleaving (the DAG fixes all data dependencies).
+        let n = 64;
+        let mut a1 = spd_matrix(n, 16);
+        let mut a2 = a1.clone();
+        let m = uniform_map(a1.nt(), Precision::Fp64);
+        factorize_mp(&mut a1, &m, 1).unwrap();
+        factorize_mp(&mut a2, &m, 4).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                assert_eq!(a1.get(i, j), a2.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_error_between_fp64_and_fp16() {
+        let n = 80;
+        let a0 = spd_matrix(n, 16);
+        let dense = a0.to_dense_symmetric();
+        let err_of = |p: Precision| {
+            let mut a = a0.clone();
+            let m = uniform_map(a.nt(), p);
+            factorize_mp(&mut a, &m, 2).unwrap();
+            reconstruction_error(&dense, &a.to_dense_lower())
+        };
+        let e64 = err_of(Precision::Fp64);
+        let e32 = err_of(Precision::Fp32);
+        let e16 = err_of(Precision::Fp16);
+        assert!(e64 < 1e-13);
+        assert!(e32 > e64 && e32 < 1e-5, "e32={e32}");
+        assert!(e16 > e32, "e16={e16} vs e32={e32}");
+        assert!(e16 < 0.05, "FP16 still produces a usable factor: {e16}");
+    }
+
+    #[test]
+    fn adaptive_map_accuracy_tracks_u_req() {
+        let n = 96;
+        let a0 = spd_matrix(n, 16);
+        let dense = a0.to_dense_symmetric();
+        let norms = tile_fro_norms(&a0);
+        let err_at = |u_req: f64| {
+            let m = PrecisionMap::from_norms(&norms, u_req, &Precision::ADAPTIVE_SET);
+            let mut a = a0.clone();
+            factorize_mp(&mut a, &m, 2).unwrap();
+            reconstruction_error(&dense, &a.to_dense_lower())
+        };
+        let tight = err_at(1e-14);
+        let loose = err_at(1e-2);
+        assert!(tight <= loose, "tight {tight} loose {loose}");
+        assert!(tight < 1e-12);
+    }
+
+    #[test]
+    fn not_spd_is_reported() {
+        let mut a = SymmTileMatrix::from_fn(
+            8,
+            4,
+            |i, j| if i == j { -1.0 } else { 0.0 },
+            |_, _| StoragePrecision::F64,
+        );
+        let err = factorize_mp(&mut a, &uniform_map(2, Precision::Fp64), 2).unwrap_err();
+        assert_eq!(err.column, 0);
+    }
+
+    #[test]
+    fn factor_tiles_keep_storage_precision() {
+        let mut a = spd_matrix(64, 16);
+        let m = uniform_map(a.nt(), Precision::Fp16);
+        factorize_mp(&mut a, &m, 1).unwrap();
+        assert_eq!(a.tile(0, 0).storage(), StoragePrecision::F64);
+        assert_eq!(a.tile(2, 0).storage(), StoragePrecision::F32);
+    }
+
+    #[test]
+    fn storage_savings_reported() {
+        let mut a = spd_matrix(64, 16);
+        let stats = factorize_mp(&mut a, &uniform_map(4, Precision::Fp16), 1).unwrap();
+        assert!(stats.storage_bytes_mp < stats.storage_bytes_fp64);
+    }
+}

@@ -1,0 +1,44 @@
+//! Reporting helpers: data-motion summaries and text tables shared by the
+//! experiment binaries and examples.
+
+use mixedp_gpusim::SimReport;
+
+/// Human-readable data-motion and performance summary of a simulated run.
+pub fn summarize(report: &SimReport) -> String {
+    format!(
+        "time {:>9.3} s | {:>8.2} Tflop/s | occ {:>5.1}% | H2D {:>8.2} GB | D2H {:>7.2} GB | \
+         P2P {:>7.2} GB | NIC {:>7.2} GB | conv {:>7} ({:.3} s) | {:>9.0} J | {:>6.2} Gflops/W",
+        report.makespan_s,
+        report.tflops(),
+        100.0 * report.occupancy(),
+        report.h2d_bytes as f64 / 1e9,
+        report.d2h_bytes as f64 / 1e9,
+        report.p2p_bytes as f64 / 1e9,
+        report.nic_bytes as f64 / 1e9,
+        report.conversions,
+        report.conversion_s,
+        report.energy_joules(),
+        report.gflops_per_watt(),
+    )
+}
+
+/// Render a row of `(label, value)` columns with fixed widths — the common
+/// format of the table reproductions.
+pub fn table_row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_pads() {
+        let r = table_row(&["a".into(), "bb".into()], 4);
+        assert_eq!(r, "   a |   bb");
+    }
+}

@@ -1,0 +1,61 @@
+//! Slice quantization and conversion-cost accounting.
+
+use crate::format::Precision;
+use crate::round::quantize;
+
+/// Quantize every element of `src` through the input representation of `p`
+/// into a fresh buffer (values remain `f64`-carried, but lie exactly on the
+/// target format's grid).
+pub fn quantize_slice(p: Precision, src: &[f64]) -> Vec<f64> {
+    if p == Precision::Fp64 {
+        return src.to_vec();
+    }
+    src.iter().map(|&x| quantize(p, x)).collect()
+}
+
+/// In-place variant of [`quantize_slice`].
+pub fn quantize_slice_in_place(p: Precision, buf: &mut [f64]) {
+    if p == Precision::Fp64 {
+        return;
+    }
+    for x in buf.iter_mut() {
+        *x = quantize(p, *x);
+    }
+}
+
+/// Bytes read + written by a datatype-conversion kernel transforming `n`
+/// elements from a `from_bytes`-per-element format to `to_bytes` — the
+/// quantity the device-side conversion cost model is driven by.
+pub fn convert_cost_bytes(n: usize, from_bytes: usize, to_bytes: usize) -> usize {
+    n * (from_bytes + to_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::round_f16;
+
+    #[test]
+    fn quantize_slice_fp64_is_identity() {
+        let v = vec![0.1, 0.2, 0.3];
+        assert_eq!(quantize_slice(Precision::Fp64, &v), v);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let v: Vec<f64> = (0..64).map(|i| (i as f64) * 0.137 - 3.1).collect();
+        let q = quantize_slice(Precision::Fp16, &v);
+        for (a, &b) in q.iter().zip(&v) {
+            assert_eq!(*a, round_f16(b));
+        }
+        let mut w = v.clone();
+        quantize_slice_in_place(Precision::Fp16, &mut w);
+        assert_eq!(w, q);
+    }
+
+    #[test]
+    fn conversion_cost() {
+        assert_eq!(convert_cost_bytes(100, 8, 2), 1000);
+        assert_eq!(convert_cost_bytes(0, 8, 4), 0);
+    }
+}

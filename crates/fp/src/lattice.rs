@@ -1,0 +1,108 @@
+//! The precision lattice used by the automated conversion planner.
+//!
+//! Algorithm 2 of the paper manipulates three related notions:
+//!
+//! * the **kernel precision** a task executes in ([`Precision`]),
+//! * the **storage precision** of the tile it writes
+//!   ([`storage_precision_of`], paper Fig 2b),
+//! * the **communication precision** of the payloads it emits
+//!   ([`comm_requirement`], [`higher_comm`]).
+
+use crate::format::{CommPrecision, Precision, StoragePrecision};
+
+/// The storage format for a tile whose kernels execute in `p` (Fig 2b).
+///
+/// FP16_32 and FP16 GEMMs are only supported for GEMM on NVIDIA GPUs, so
+/// TRSM on such a tile must run in FP32 and the tile is generated and stored
+/// in FP32 (paper §V). TF32/BF16_32 inputs are 19/16-bit views of an FP32
+/// value, so their storage is FP32 as well.
+pub fn storage_precision_of(p: Precision) -> StoragePrecision {
+    match p {
+        Precision::Fp64 => StoragePrecision::F64,
+        _ => StoragePrecision::F32,
+    }
+}
+
+/// The wire precision a consumer running kernel precision `p` requires of
+/// its *input* payloads: shipping anything more is wasted bytes, anything
+/// less would lose information the kernel would have used.
+pub fn comm_requirement(p: Precision) -> CommPrecision {
+    match p {
+        Precision::Fp64 => CommPrecision::Fp64,
+        Precision::Fp32 | Precision::Tf32 => CommPrecision::Fp32,
+        Precision::Fp16x32 | Precision::Bf16x32 | Precision::Fp16 => CommPrecision::Fp16,
+    }
+}
+
+/// `get_higher_precision` of Algorithm 2: the finer of two wire formats.
+pub fn higher_comm(a: CommPrecision, b: CommPrecision) -> CommPrecision {
+    a.max(b)
+}
+
+/// The wire format matching a storage format (used when a payload is sent
+/// exactly as stored — the TTC case for TRSM outputs).
+pub fn comm_of_storage(s: StoragePrecision) -> CommPrecision {
+    match s {
+        StoragePrecision::F16 => CommPrecision::Fp16,
+        StoragePrecision::F32 => CommPrecision::Fp32,
+        StoragePrecision::F64 => CommPrecision::Fp64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_fp64_kernels_store_fp64() {
+        assert_eq!(storage_precision_of(Precision::Fp64), StoragePrecision::F64);
+        for p in [
+            Precision::Fp32,
+            Precision::Tf32,
+            Precision::Fp16x32,
+            Precision::Fp16,
+            Precision::Bf16x32,
+        ] {
+            assert_eq!(storage_precision_of(p), StoragePrecision::F32, "{p}");
+        }
+    }
+
+    #[test]
+    fn comm_requirement_matches_input_bytes() {
+        for p in Precision::ALL {
+            assert_eq!(comm_requirement(p).bytes(), p.input_bytes(), "{p}");
+        }
+    }
+
+    #[test]
+    fn higher_comm_is_max() {
+        use CommPrecision::*;
+        assert_eq!(higher_comm(Fp16, Fp32), Fp32);
+        assert_eq!(higher_comm(Fp64, Fp32), Fp64);
+        assert_eq!(higher_comm(Fp16, Fp16), Fp16);
+    }
+
+    #[test]
+    fn higher_comm_is_commutative_associative() {
+        use CommPrecision::*;
+        let all = [Fp16, Fp32, Fp64];
+        for a in all {
+            for b in all {
+                assert_eq!(higher_comm(a, b), higher_comm(b, a));
+                for c in all {
+                    assert_eq!(
+                        higher_comm(higher_comm(a, b), c),
+                        higher_comm(a, higher_comm(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comm_of_storage_roundtrips() {
+        for c in [CommPrecision::Fp16, CommPrecision::Fp32, CommPrecision::Fp64] {
+            assert_eq!(comm_of_storage(c.as_storage()), c);
+        }
+    }
+}

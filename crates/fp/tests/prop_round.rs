@@ -1,0 +1,74 @@
+//! Property-based tests of the rounding emulation.
+
+use mixedp_fp::{quantize, round_bf16, round_f16, round_tf32, CommPrecision, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization is idempotent: a value already on the grid stays put.
+    #[test]
+    fn quantize_idempotent(x in -1e4f64..1e4, pi in 0usize..6) {
+        let p = Precision::ALL[pi];
+        let q = quantize(p, x);
+        prop_assert_eq!(quantize(p, q), q);
+    }
+
+    /// Relative rounding error is bounded by the unit roundoff for normal
+    /// (non-underflowing, non-overflowing) magnitudes.
+    #[test]
+    fn quantize_error_bound(x in prop::num::f64::NORMAL, pi in 0usize..6) {
+        let p = Precision::ALL[pi];
+        // Keep x inside every format's normal range.
+        let x = x.clamp(-1e4, 1e4);
+        prop_assume!(x.abs() > 1e-3);
+        let q = quantize(p, x);
+        let rel = ((q - x) / x).abs();
+        prop_assert!(rel <= p.unit_roundoff(), "{}: rel {:e}", p, rel);
+    }
+
+    /// Quantization is monotone (non-decreasing).
+    #[test]
+    fn quantize_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4, pi in 0usize..6) {
+        let p = Precision::ALL[pi];
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize(p, lo) <= quantize(p, hi));
+    }
+
+    /// Quantization is odd: round(-x) == -round(x) (RNE is sign-symmetric).
+    #[test]
+    fn quantize_odd(x in -1e4f64..1e4, pi in 0usize..6) {
+        let p = Precision::ALL[pi];
+        prop_assert_eq!(quantize(p, -x), -quantize(p, x));
+    }
+
+    /// TF32 values are exactly representable in FP32 and coarser than FP32.
+    #[test]
+    fn tf32_subset_of_f32(x in -1e30f64..1e30) {
+        let t = round_tf32(x);
+        prop_assert_eq!(t as f32 as f64, t);
+    }
+
+    /// FP16 results are also bf16-or-f32 representable sanity: f16 grid is a
+    /// subset of f32's.
+    #[test]
+    fn f16_subset_of_f32(x in -6e4f64..6e4) {
+        let h = round_f16(x);
+        prop_assert_eq!(h as f32 as f64, h);
+    }
+
+    /// bf16 is a strict truncation of the f32 lattice.
+    #[test]
+    fn bf16_subset_of_f32(x in -1e30f64..1e30) {
+        let h = round_bf16(x);
+        prop_assert_eq!(h as f32 as f64, h);
+    }
+
+    /// Wire-format max is a lattice join.
+    #[test]
+    fn higher_comm_bounds(ai in 0usize..3, bi in 0usize..3) {
+        let all = [CommPrecision::Fp16, CommPrecision::Fp32, CommPrecision::Fp64];
+        let (a, b) = (all[ai], all[bi]);
+        let j = mixedp_fp::higher_comm(a, b);
+        prop_assert!(j >= a && j >= b);
+        prop_assert!(j == a || j == b);
+    }
+}

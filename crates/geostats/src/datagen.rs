@@ -1,0 +1,90 @@
+//! Synthetic Gaussian-field generation: `Z = L·e`, `e ~ N(0, I)`,
+//! `Σ(θ) = L·Lᵀ` — the Monte-Carlo data source of paper §VII-B.
+
+use crate::covariance::{covariance_dense, CovarianceModel};
+use crate::locations::Location;
+use mixedp_kernels::blas;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// Draw one synthetic measurement vector for `locs` under `model(θ_true)`.
+///
+/// The covariance is built and factored in full FP64 — data generation is
+/// part of the experimental setup, not of the method under test.
+pub fn generate_field(
+    model: &dyn CovarianceModel,
+    locs: &[Location],
+    theta_true: &[f64],
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let n = locs.len();
+    let mut sigma = covariance_dense(model, locs, theta_true);
+    blas::cholesky_in_place(sigma.data_mut(), n)
+        .expect("true covariance must be positive definite");
+    let e: Vec<f64> = (0..n).map(|_| StandardNormal.sample(rng)).collect();
+    // Z = L e (lower triangle of the factored buffer)
+    let l = sigma.data();
+    (0..n)
+        .map(|i| (0..=i).map(|t| l[i * n + t] * e[t]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::SqExp;
+    use crate::locations::gen_locations_2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_has_roughly_unit_variance() {
+        // With σ² = 1 the marginal variance of every Z_i is 1; across a
+        // large sample the empirical second moment should be near 1.
+        let mut rng = StdRng::seed_from_u64(42);
+        let locs = gen_locations_2d(400, &mut rng);
+        let model = SqExp::new2d();
+        let mut acc = 0.0;
+        let reps = 8;
+        for _ in 0..reps {
+            let z = generate_field(&model, &locs, &[1.0, 0.03], &mut rng);
+            acc += z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        }
+        let mean_var = acc / reps as f64;
+        assert!(
+            (mean_var - 1.0).abs() < 0.25,
+            "empirical variance {mean_var}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = SqExp::new2d();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let locs = gen_locations_2d(64, &mut r1);
+        let z1 = generate_field(&model, &locs, &[1.0, 0.1], &mut r1);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let locs2 = gen_locations_2d(64, &mut r2);
+        let z2 = generate_field(&model, &locs2, &[1.0, 0.1], &mut r2);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn stronger_correlation_smooths_field() {
+        // With strong correlation, neighboring values are closer: the mean
+        // squared difference between grid neighbors is smaller.
+        let mut rng = StdRng::seed_from_u64(11);
+        let locs = gen_locations_2d(256, &mut rng);
+        let model = SqExp::new2d();
+        let msd = |z: &[f64]| {
+            let mut s = 0.0;
+            for i in 1..z.len() {
+                s += (z[i] - z[i - 1]).powi(2);
+            }
+            s / (z.len() - 1) as f64
+        };
+        let z_weak = generate_field(&model, &locs, &[1.0, 0.003], &mut rng);
+        let z_strong = generate_field(&model, &locs, &[1.0, 0.3], &mut rng);
+        assert!(msd(&z_strong) < msd(&z_weak));
+    }
+}

@@ -1,0 +1,352 @@
+//! Bound-constrained derivative-free maximization.
+//!
+//! A from-scratch substitute for NLOPT's BOBYQA (see DESIGN.md): Nelder–Mead
+//! with box projection, optionally run in log-parameter space (the natural
+//! scale for positive covariance parameters), seeded by a low-discrepancy
+//! presample of the box so the search does not collapse into a boundary
+//! basin near the paper's lower-bound starting point. Restarted from the
+//! incumbent with fresh simplexes. The paper's optimizer settings are
+//! mirrored: tolerance `1e-9`, bounds `[0.01, 2]`, start at the lower bound
+//! (§VII-B).
+
+/// Configuration for [`maximize_bounded`].
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    pub lower: Vec<f64>,
+    pub upper: Vec<f64>,
+    pub x0: Vec<f64>,
+    /// Convergence tolerance on both simplex spread and objective spread.
+    pub tol: f64,
+    pub max_evals: usize,
+    /// Number of Nelder–Mead restarts from the incumbent.
+    pub restarts: usize,
+    /// Optimize internally in `ln x` (requires strictly positive bounds).
+    pub log_space: bool,
+    /// Low-discrepancy points evaluated up front; the best becomes the
+    /// starting point if it beats `x0`.
+    pub presample: usize,
+}
+
+impl OptimizerConfig {
+    /// The paper's MLE settings for a `d`-parameter model: bounds
+    /// `[0.01, 2]`, start at the lower bound, tolerance `1e-9`.
+    pub fn paper_defaults(d: usize) -> Self {
+        OptimizerConfig {
+            lower: vec![0.01; d],
+            upper: vec![2.0; d],
+            x0: vec![0.01; d],
+            tol: 1e-9,
+            max_evals: 5000,
+            restarts: 2,
+            log_space: true,
+            presample: 16,
+        }
+    }
+}
+
+/// Result of a maximization run.
+#[derive(Debug, Clone)]
+pub struct OptimizerResult {
+    pub x: Vec<f64>,
+    pub fmax: f64,
+    pub evals: usize,
+    pub converged: bool,
+}
+
+/// Kronecker / golden-ratio low-discrepancy sequence over the unit cube
+/// (R_d sequence): deterministic, well spread, no RNG dependency.
+fn r_sequence(d: usize, k: usize) -> Vec<f64> {
+    // phi_d is the unique positive root of x^{d+1} = x + 1
+    let mut phi = 2.0f64;
+    for _ in 0..32 {
+        phi = (1.0 + phi).powf(1.0 / (d as f64 + 1.0));
+    }
+    (0..d)
+        .map(|i| {
+            let alpha = (1.0 / phi).powi(i as i32 + 1);
+            let v = 0.5 + alpha * (k as f64 + 1.0);
+            v - v.floor()
+        })
+        .collect()
+}
+
+/// Maximize `f` over the box `[lower, upper]`. Objective evaluations that
+/// return `None` (e.g. non-SPD covariance) are treated as `−∞`.
+pub fn maximize_bounded(
+    f: impl Fn(&[f64]) -> Option<f64>,
+    cfg: &OptimizerConfig,
+) -> OptimizerResult {
+    let d = cfg.x0.len();
+    assert_eq!(cfg.lower.len(), d);
+    assert_eq!(cfg.upper.len(), d);
+    for i in 0..d {
+        assert!(cfg.lower[i] < cfg.upper[i], "empty box at coordinate {i}");
+        if cfg.log_space {
+            assert!(cfg.lower[i] > 0.0, "log_space requires positive bounds");
+        }
+    }
+
+    // Internal (possibly log) coordinates.
+    let to_internal = |x: &[f64]| -> Vec<f64> {
+        x.iter()
+            .map(|&v| if cfg.log_space { v.ln() } else { v })
+            .collect()
+    };
+    let to_external = |t: &[f64]| -> Vec<f64> {
+        t.iter()
+            .map(|&v| if cfg.log_space { v.exp() } else { v })
+            .collect()
+    };
+    let lo = to_internal(&cfg.lower);
+    let hi = to_internal(&cfg.upper);
+
+    let mut evals = 0usize;
+    let eval_internal = |t: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(&to_external(t)).unwrap_or(f64::NEG_INFINITY)
+    };
+
+    // Start: x0 clamped, then presample the box and keep the best.
+    let mut best_t: Vec<f64> = to_internal(&cfg.x0)
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v.clamp(lo[i], hi[i]))
+        .collect();
+    let mut best_f = eval_internal(&best_t, &mut evals);
+    for k in 0..cfg.presample {
+        let u = r_sequence(d, k);
+        let t: Vec<f64> = (0..d).map(|i| lo[i] + u[i] * (hi[i] - lo[i])).collect();
+        let ft = eval_internal(&t, &mut evals);
+        if ft > best_f {
+            best_f = ft;
+            best_t = t;
+        }
+    }
+
+    let mut converged = false;
+    for restart in 0..=cfg.restarts {
+        // Initial simplex around the incumbent; shrink per restart and flip
+        // orientation to vary the search directions.
+        let frac = 0.2 / (1 << restart) as f64;
+        let sign = if restart % 2 == 0 { 1.0 } else { -1.0 };
+        let mut simplex: Vec<Vec<f64>> = vec![best_t.clone()];
+        for i in 0..d {
+            let mut v = best_t.clone();
+            let w = (hi[i] - lo[i]) * frac * sign;
+            v[i] = if v[i] + w <= hi[i] && v[i] + w >= lo[i] {
+                v[i] + w
+            } else {
+                v[i] - w
+            };
+            v[i] = v[i].clamp(lo[i], hi[i]);
+            simplex.push(v);
+        }
+        let mut fvals: Vec<f64> = simplex
+            .iter()
+            .map(|v| eval_internal(v, &mut evals))
+            .collect();
+
+        while evals < cfg.max_evals {
+            // Order descending (maximization: best first).
+            let mut idx: Vec<usize> = (0..=d).collect();
+            idx.sort_by(|&a, &b| fvals[b].partial_cmp(&fvals[a]).unwrap());
+            simplex = idx.iter().map(|&i| simplex[i].clone()).collect();
+            fvals = idx.iter().map(|&i| fvals[i]).collect();
+
+            // Convergence: objective spread and simplex diameter.
+            let f_spread = (fvals[0] - fvals[d]).abs();
+            let x_spread = simplex[1..]
+                .iter()
+                .map(|v| {
+                    v.iter()
+                        .zip(&simplex[0])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max)
+                })
+                .fold(0.0, f64::max);
+            if f_spread < cfg.tol && x_spread < cfg.tol {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but worst.
+            let mut centroid = vec![0.0; d];
+            for v in &simplex[..d] {
+                for i in 0..d {
+                    centroid[i] += v[i] / d as f64;
+                }
+            }
+            let worst = simplex[d].clone();
+            let f_worst = fvals[d];
+
+            let mk = |t: f64| -> Vec<f64> {
+                (0..d)
+                    .map(|i| (centroid[i] + t * (centroid[i] - worst[i])).clamp(lo[i], hi[i]))
+                    .collect::<Vec<f64>>()
+            };
+
+            // Reflection.
+            let xr = mk(1.0);
+            let fr = eval_internal(&xr, &mut evals);
+            if fr > fvals[0] {
+                // Expansion.
+                let xe = mk(2.0);
+                let fe = eval_internal(&xe, &mut evals);
+                if fe > fr {
+                    simplex[d] = xe;
+                    fvals[d] = fe;
+                } else {
+                    simplex[d] = xr;
+                    fvals[d] = fr;
+                }
+            } else if fr > fvals[d - 1] {
+                simplex[d] = xr;
+                fvals[d] = fr;
+            } else {
+                // Contraction (outside if reflection improved worst, else inside).
+                let xc = if fr > f_worst { mk(0.5) } else { mk(-0.5) };
+                let fc = eval_internal(&xc, &mut evals);
+                if fc > f_worst.max(fr) {
+                    simplex[d] = xc;
+                    fvals[d] = fc;
+                } else {
+                    // Shrink toward best.
+                    let (best, rest) = simplex.split_at_mut(1);
+                    for v in rest.iter_mut() {
+                        for i in 0..d {
+                            v[i] = best[0][i] + 0.5 * (v[i] - best[0][i]);
+                        }
+                    }
+                    for t in 1..=d {
+                        fvals[t] = eval_internal(&simplex[t], &mut evals);
+                    }
+                }
+            }
+        }
+
+        // Track incumbent across restarts.
+        for (v, &fv) in simplex.iter().zip(&fvals) {
+            if fv > best_f {
+                best_f = fv;
+                best_t = v.clone();
+            }
+        }
+        if evals >= cfg.max_evals {
+            break;
+        }
+    }
+
+    OptimizerResult {
+        x: to_external(&best_t),
+        fmax: best_f,
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(d: usize, lower: f64, upper: f64, x0: f64) -> OptimizerConfig {
+        OptimizerConfig {
+            lower: vec![lower; d],
+            upper: vec![upper; d],
+            x0: vec![x0; d],
+            tol: 1e-10,
+            max_evals: 20_000,
+            restarts: 2,
+            log_space: false,
+            presample: 8,
+        }
+    }
+
+    #[test]
+    fn quadratic_bowl_interior_max() {
+        let f = |x: &[f64]| Some(-(x[0] - 0.7).powi(2) - 2.0 * (x[1] - 0.3).powi(2));
+        let r = maximize_bounded(f, &cfg(2, 0.0, 2.0, 0.01));
+        assert!(r.converged);
+        assert!((r.x[0] - 0.7).abs() < 1e-6, "{:?}", r.x);
+        assert!((r.x[1] - 0.3).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn quadratic_bowl_log_space() {
+        let mut c = cfg(2, 0.01, 2.0, 0.01);
+        c.log_space = true;
+        let f = |x: &[f64]| Some(-(x[0] - 0.7).powi(2) - 2.0 * (x[1] - 0.3).powi(2));
+        let r = maximize_bounded(f, &c);
+        assert!((r.x[0] - 0.7).abs() < 1e-6, "{:?}", r.x);
+        assert!((r.x[1] - 0.3).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn maximum_on_boundary_is_clamped() {
+        let f = |x: &[f64]| Some(x[0] + 0.5 * x[1]);
+        let r = maximize_bounded(f, &cfg(2, 0.0, 1.0, 0.2));
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_none_regions() {
+        let f = |x: &[f64]| if x[0] > 0.5 { None } else { Some(x[0]) };
+        let r = maximize_bounded(f, &cfg(1, 0.0, 2.0, 0.01));
+        assert!((r.x[0] - 0.5).abs() < 1e-5, "{:?}", r.x);
+    }
+
+    #[test]
+    fn rosenbrock_like_banana() {
+        let f =
+            |x: &[f64]| Some(-((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)));
+        let r = maximize_bounded(f, &cfg(2, -2.0, 2.0, -1.0));
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn escapes_boundary_basin_via_presample() {
+        // A deceptive objective: a shallow local maximum pinned at the lower
+        // boundary, a much better optimum in the interior.
+        let f = |x: &[f64]| {
+            let boundary_bump = -(x[0] - 0.01).powi(2) * 100.0 + 1.0;
+            let interior = -((x[0] - 1.2).powi(2)) * 50.0 + 10.0;
+            Some(boundary_bump.max(interior))
+        };
+        let mut c = cfg(1, 0.01, 2.0, 0.01);
+        c.log_space = true;
+        let r = maximize_bounded(f, &c);
+        assert!((r.x[0] - 1.2).abs() < 1e-4, "stuck at {:?}", r.x);
+    }
+
+    #[test]
+    fn r_sequence_is_in_unit_cube_and_spread() {
+        let mut pts = Vec::new();
+        for k in 0..32 {
+            let p = r_sequence(3, k);
+            assert!(p.iter().all(|&v| (0.0..1.0).contains(&v)));
+            pts.push(p);
+        }
+        // crude spread check: points are not all in one octant
+        let low = pts.iter().filter(|p| p[0] < 0.5).count();
+        assert!(low > 4 && low < 28);
+    }
+
+    #[test]
+    fn paper_defaults_shape() {
+        let c = OptimizerConfig::paper_defaults(3);
+        assert_eq!(c.lower, vec![0.01; 3]);
+        assert_eq!(c.upper, vec![2.0; 3]);
+        assert_eq!(c.x0, vec![0.01; 3]);
+        assert_eq!(c.tol, 1e-9);
+        assert!(c.log_space);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut cfgb = cfg(2, 0.0, 1.0, 0.5);
+        cfgb.max_evals = 40;
+        let r = maximize_bounded(|x| Some(-x[0] * x[0]), &cfgb);
+        assert!(r.evals <= 45, "evals {}", r.evals);
+    }
+}

@@ -1,0 +1,186 @@
+//! Kriging prediction: once `θ̂` is estimated, predict the field at
+//! unobserved locations (the "prediction" half of geostatistical modeling
+//! the paper's ExaGeoStat lineage performs — §III-A: "the model can be
+//! utilized for predicting future measurements").
+//!
+//! Simple (zero-mean) kriging:
+//!
+//! ```text
+//! μ*  = Σ*ᵀ Σ⁻¹ Z                  (conditional mean at the new sites)
+//! σ*² = C(0) − diag(Σ*ᵀ Σ⁻¹ Σ*)   (conditional variance)
+//! ```
+//!
+//! with `Σ` the training covariance and `Σ*` the train×test
+//! cross-covariance. The solves go through the Cholesky factor, so a
+//! mixed-precision factor (with optional iterative refinement) can be
+//! plugged in by the caller via [`predict_with_solver`].
+
+use crate::covariance::{covariance_dense, CovarianceModel};
+use crate::locations::Location;
+use mixedp_kernels::blas;
+
+/// Predictions at the test locations.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Conditional mean per test location.
+    pub mean: Vec<f64>,
+    /// Conditional variance per test location (≥ 0, ≤ C(0)).
+    pub variance: Vec<f64>,
+}
+
+/// Exact FP64 kriging: builds and factors `Σ(θ)` internally.
+pub fn predict(
+    model: &dyn CovarianceModel,
+    train: &[Location],
+    z: &[f64],
+    test: &[Location],
+    theta: &[f64],
+) -> Option<Prediction> {
+    let n = train.len();
+    assert_eq!(z.len(), n);
+    let mut sigma = covariance_dense(model, train, theta);
+    blas::cholesky_in_place(sigma.data_mut(), n).ok()?;
+    let l = sigma.data().to_vec();
+    predict_with_solver(model, train, z, test, theta, move |b| {
+        let mut x = b.to_vec();
+        blas::forward_solve_in_place(&l, n, &mut x);
+        blas::backward_solve_trans_in_place(&l, n, &mut x);
+        x
+    })
+}
+
+/// Kriging through a caller-supplied SPD solver `x = Σ⁻¹ b` (e.g. tiled
+/// mixed-precision solves, possibly refined).
+pub fn predict_with_solver(
+    model: &dyn CovarianceModel,
+    train: &[Location],
+    z: &[f64],
+    test: &[Location],
+    theta: &[f64],
+    solve: impl Fn(&[f64]) -> Vec<f64>,
+) -> Option<Prediction> {
+    let n = train.len();
+    let alpha = solve(z); // Σ⁻¹ Z, reused for every test point
+    let c0 = model.cov(0.0, theta);
+    let mut mean = Vec::with_capacity(test.len());
+    let mut variance = Vec::with_capacity(test.len());
+    for t in test {
+        // cross-covariance column for this test point
+        let k: Vec<f64> = (0..n)
+            .map(|i| model.cov_loc(&train[i], t, theta))
+            .collect();
+        let mu: f64 = k.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let w = solve(&k); // Σ⁻¹ k
+        let var = c0 - k.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+        if !mu.is_finite() || !var.is_finite() {
+            return None;
+        }
+        mean.push(mu);
+        variance.push(var.max(0.0));
+    }
+    Some(Prediction { mean, variance })
+}
+
+/// Mean squared prediction error against held-out truth.
+pub fn mspe(pred: &Prediction, truth: &[f64]) -> f64 {
+    assert_eq!(pred.mean.len(), truth.len());
+    pred.mean
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Convenience: the covariance entry accessor, re-exported here so callers
+/// assembling tiled training covariances for MP prediction need one import.
+pub use crate::covariance::covariance_entry as train_covariance_entry;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::{Matern2d, SqExp};
+    use crate::datagen::generate_field;
+    use crate::locations::gen_locations_2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn split(locs: Vec<Location>, z: Vec<f64>, every: usize) -> (Vec<Location>, Vec<f64>, Vec<Location>, Vec<f64>) {
+        let mut train = Vec::new();
+        let mut ztr = Vec::new();
+        let mut test = Vec::new();
+        let mut zte = Vec::new();
+        for (i, (l, v)) in locs.into_iter().zip(z).enumerate() {
+            if i % every == 0 {
+                test.push(l);
+                zte.push(v);
+            } else {
+                train.push(l);
+                ztr.push(v);
+            }
+        }
+        (train, ztr, test, zte)
+    }
+
+    #[test]
+    fn predicting_training_points_is_exact() {
+        // At a training location, kriging interpolates: μ* = Z, σ*² ≈ nugget.
+        let mut rng = StdRng::seed_from_u64(1);
+        let locs = gen_locations_2d(64, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.0, 0.05];
+        let z = generate_field(&model, &locs, &theta, &mut rng);
+        let pred = predict(&model, &locs, &z, &locs[..8], &theta).unwrap();
+        for (m, t) in pred.mean.iter().zip(&z[..8]) {
+            assert!((m - t).abs() < 1e-3, "{m} vs {t}");
+        }
+        for v in &pred.variance {
+            assert!(*v < 1e-3, "training-point variance {v}");
+        }
+    }
+
+    #[test]
+    fn prediction_beats_zero_baseline() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let locs = gen_locations_2d(256, &mut rng);
+        let model = Matern2d;
+        let theta = [1.0, 0.15, 1.0];
+        let z = generate_field(&model, &locs, &theta, &mut rng);
+        let (train, ztr, test, zte) = split(locs, z, 8);
+        let pred = predict(&model, &train, &ztr, &test, &theta).unwrap();
+        let err = mspe(&pred, &zte);
+        // the zero predictor's MSPE is the field variance ≈ 1
+        let zero_mspe = zte.iter().map(|v| v * v).sum::<f64>() / zte.len() as f64;
+        assert!(err < 0.5 * zero_mspe, "kriging {err} vs zero {zero_mspe}");
+    }
+
+    #[test]
+    fn variance_bounded_by_prior() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let locs = gen_locations_2d(100, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.7, 0.08];
+        let z = generate_field(&model, &locs, &theta, &mut rng);
+        let (train, ztr, test, _zte) = split(locs, z, 5);
+        let pred = predict(&model, &train, &ztr, &test, &theta).unwrap();
+        for v in &pred.variance {
+            assert!(*v >= 0.0 && *v <= 1.7 + 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn wrong_parameters_predict_worse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let locs = gen_locations_2d(256, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.0, 0.1];
+        let z = generate_field(&model, &locs, &theta, &mut rng);
+        let (train, ztr, test, zte) = split(locs, z, 6);
+        let good = mspe(&predict(&model, &train, &ztr, &test, &theta).unwrap(), &zte);
+        let bad = mspe(
+            &predict(&model, &train, &ztr, &test, &[1.0, 0.0003]).unwrap(),
+            &zte,
+        );
+        assert!(good < bad, "correct θ {good} vs wrong θ {bad}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Empirical semivariograms — the classical diagnostic for checking that a
+//! field's spatial structure matches a covariance model (and that our
+//! synthetic generator produces fields with the structure it claims).
+//!
+//! For a stationary field, `γ(h) = ½·E[(Z(s) − Z(s+h))²] = C(0) − C(h)`,
+//! estimated by binning all point pairs by distance (Matheron's estimator).
+
+use crate::covariance::CovarianceModel;
+use crate::locations::Location;
+
+/// One distance bin of the empirical semivariogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariogramBin {
+    /// Mean pair distance within the bin.
+    pub h: f64,
+    /// Matheron estimate `γ̂(h)`.
+    pub gamma: f64,
+    /// Number of pairs contributing.
+    pub pairs: usize,
+}
+
+/// Matheron's empirical semivariogram over `nbins` equal-width distance
+/// bins up to `max_dist`.
+pub fn empirical_variogram(
+    locs: &[Location],
+    z: &[f64],
+    max_dist: f64,
+    nbins: usize,
+) -> Vec<VariogramBin> {
+    assert_eq!(locs.len(), z.len());
+    assert!(nbins > 0 && max_dist > 0.0);
+    let w = max_dist / nbins as f64;
+    let mut sum = vec![0.0f64; nbins];
+    let mut hsum = vec![0.0f64; nbins];
+    let mut count = vec![0usize; nbins];
+    for i in 0..locs.len() {
+        for j in 0..i {
+            let h = locs[i].dist(&locs[j]);
+            if h >= max_dist {
+                continue;
+            }
+            let b = ((h / w) as usize).min(nbins - 1);
+            let d = z[i] - z[j];
+            sum[b] += 0.5 * d * d;
+            hsum[b] += h;
+            count[b] += 1;
+        }
+    }
+    (0..nbins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| VariogramBin {
+            h: hsum[b] / count[b] as f64,
+            gamma: sum[b] / count[b] as f64,
+            pairs: count[b],
+        })
+        .collect()
+}
+
+/// Theoretical semivariogram of a model: `γ(h) = C(0) − C(h)`.
+pub fn model_variogram(model: &dyn CovarianceModel, theta: &[f64], h: f64) -> f64 {
+    model.cov(0.0, theta) - model.cov(h, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::SqExp;
+    use crate::datagen::generate_field;
+    use crate::locations::gen_locations_2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variogram_of_synthetic_field_matches_model() {
+        // Average several replicas: the empirical variogram should track
+        // C(0) − C(h) of the generating model.
+        let mut rng = StdRng::seed_from_u64(9);
+        let locs = gen_locations_2d(400, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.0, 0.05];
+        let nbins = 10;
+        let max_d = 0.5;
+        let mut acc = vec![0.0f64; nbins];
+        let mut hmid = vec![0.0f64; nbins];
+        let reps = 12;
+        for _ in 0..reps {
+            let z = generate_field(&model, &locs, &theta, &mut rng);
+            for (k, b) in empirical_variogram(&locs, &z, max_d, nbins).iter().enumerate() {
+                acc[k] += b.gamma;
+                hmid[k] = b.h;
+            }
+        }
+        for k in 0..nbins {
+            let emp = acc[k] / reps as f64;
+            let theo = model_variogram(&model, &theta, hmid[k]);
+            assert!(
+                (emp - theo).abs() < 0.25,
+                "bin {k} (h={:.3}): empirical {emp:.3} vs model {theo:.3}",
+                hmid[k]
+            );
+        }
+    }
+
+    #[test]
+    fn variogram_increases_then_sills() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let locs = gen_locations_2d(400, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.0, 0.02];
+        let z = generate_field(&model, &locs, &theta, &mut rng);
+        let v = empirical_variogram(&locs, &z, 0.6, 8);
+        assert!(v.len() >= 4);
+        // short-range γ well below the sill; long-range near it
+        assert!(v[0].gamma < v.last().unwrap().gamma);
+        assert!(v[0].gamma < 0.6, "{:?}", v[0]);
+    }
+
+    #[test]
+    fn model_variogram_zero_at_origin() {
+        let m = SqExp::new2d();
+        assert_eq!(model_variogram(&m, &[1.3, 0.1], 0.0), 0.0);
+        assert!(model_variogram(&m, &[1.3, 0.1], 10.0) > 1.29);
+    }
+
+    #[test]
+    fn pairs_accounted_exactly() {
+        let locs = vec![
+            Location::new2d(0.0, 0.0),
+            Location::new2d(0.1, 0.0),
+            Location::new2d(0.2, 0.0),
+        ];
+        let z = vec![1.0, 2.0, 4.0];
+        let v = empirical_variogram(&locs, &z, 1.0, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pairs, 3);
+        // γ = mean of ½(Δz)²: ½(1 + 4 + 9)/3
+        assert!((v[0].gamma - 14.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the statistics substrate.
+
+use mixedp_geostats::{maximize_bounded, BoxplotStats, OptimizerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer's result always lies inside the box, whatever the
+    /// objective does.
+    #[test]
+    fn optimizer_respects_bounds(
+        lo in 0.01f64..0.5,
+        width in 0.1f64..3.0,
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+    ) {
+        let cfg = OptimizerConfig {
+            lower: vec![lo; 2],
+            upper: vec![lo + width; 2],
+            x0: vec![lo; 2],
+            tol: 1e-8,
+            max_evals: 300,
+            restarts: 1,
+            log_space: true,
+            presample: 8,
+        };
+        let r = maximize_bounded(|x| Some(a * x[0] - b * x[1] * x[1]), &cfg);
+        for &v in &r.x {
+            prop_assert!(v >= lo - 1e-12 && v <= lo + width + 1e-12, "{v} outside [{lo}, {}]", lo + width);
+        }
+        prop_assert!(r.evals <= 300 + 8);
+    }
+
+    /// Quadratic bowls are solved to their known maximum.
+    #[test]
+    fn optimizer_finds_quadratic_max(cx in 0.2f64..1.8, cy in 0.2f64..1.8) {
+        let cfg = OptimizerConfig {
+            lower: vec![0.01; 2],
+            upper: vec![2.0; 2],
+            x0: vec![0.01; 2],
+            tol: 1e-10,
+            max_evals: 4000,
+            restarts: 2,
+            log_space: false,
+            presample: 8,
+        };
+        let r = maximize_bounded(
+            |x| Some(-(x[0] - cx).powi(2) - 2.0 * (x[1] - cy).powi(2)),
+            &cfg,
+        );
+        prop_assert!((r.x[0] - cx).abs() < 1e-4, "{:?} vs ({cx},{cy})", r.x);
+        prop_assert!((r.x[1] - cy).abs() < 1e-4, "{:?} vs ({cx},{cy})", r.x);
+    }
+
+    /// Boxplot five-number summary is ordered and bracketed by the data.
+    #[test]
+    fn boxplot_invariants(samples in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let s = BoxplotStats::from_samples(&samples);
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        prop_assert_eq!(s.n, samples.len());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+
+    /// Boxplots are permutation-invariant.
+    #[test]
+    fn boxplot_permutation_invariant(mut samples in proptest::collection::vec(-10f64..10.0, 2..50)) {
+        let a = BoxplotStats::from_samples(&samples);
+        samples.reverse();
+        let b = BoxplotStats::from_samples(&samples);
+        prop_assert_eq!(a, b);
+    }
+}

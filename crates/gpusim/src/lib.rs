@@ -1,0 +1,32 @@
+//! A discrete-event simulator of GPU nodes and clusters, calibrated to the
+//! NVIDIA V100 / A100 / H100 systems of the paper (Table I, Table II).
+//!
+//! The paper's performance and energy results are bandwidth/flops
+//! phenomena; this crate models exactly those quantities:
+//!
+//! * [`specs`] — per-GPU peak rates (Table I), memory size and bandwidth,
+//!   host-link bandwidth, TDP / idle power; [`machine`] assembles them into
+//!   node and cluster presets (Summit, Guyot, Haxane).
+//! * [`model`] — kernel execution time (flops ÷ peak·efficiency), host↔device
+//!   and network transfer time, and datatype-conversion time (memory-bound).
+//! * [`power`] — power draw per (kernel, precision) and trace integration
+//!   into joules / Gflops-per-watt (Fig 10).
+//! * [`des`] — the engine: per-GPU compute stream, H2D/D2H DMA engines,
+//!   LRU device memory acting as a cache over host-resident tiles, per-rank
+//!   NIC links, greedy list-scheduling execution of a task DAG with typed
+//!   (precision-tagged) payloads. All performance figures (Table II, Figs 1,
+//!   8–12) replay their workloads through this engine.
+//!
+//! The engine is deterministic: same inputs, same simulated timeline.
+
+pub mod des;
+pub mod machine;
+pub mod model;
+pub mod power;
+pub mod specs;
+
+pub use des::{SimConfig, SimInput, SimReport, SimTask, Simulator};
+pub use machine::{ClusterSpec, NodeSpec};
+pub use model::{convert_time_s, kernel_time_s, xfer_time_s, SimKernel};
+pub use power::{kernel_power_watts, PowerTrace};
+pub use specs::{GpuGeneration, GpuSpec};

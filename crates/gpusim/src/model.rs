@@ -1,0 +1,190 @@
+//! Timing models: kernel execution, transfers, datatype conversion.
+//!
+//! Calibration targets (DESIGN.md §8): Table II of the paper — on a Summit
+//! V100, moving a 2048² tile takes 0.67 / 0.34 / 0.17 ms in FP64/32/16
+//! (≡ 50 GB/s NVLink), and a 2048³ GEMM takes 2.2 / 1.09 / 0.14 ms
+//! (≡ peak throughput at this size) — and the sustained-GEMM fractions of
+//! Fig 1d (V100/A100 near peak, H100 PCIe ≈ 82%).
+
+use crate::specs::GpuSpec;
+use mixedp_fp::Precision;
+
+/// The kernel classes of the tile Cholesky (mirror of
+/// `mixedp_kernels::KernelKind`, kept local so the simulator depends only
+/// on `mixedp-fp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimKernel {
+    Potrf,
+    Trsm,
+    Syrk,
+    Gemm,
+}
+
+impl SimKernel {
+    /// Dense flop count on an `nb × nb` tile.
+    pub fn flops(self, nb: usize) -> f64 {
+        let b = nb as f64;
+        match self {
+            SimKernel::Potrf => b * b * b / 3.0,
+            SimKernel::Trsm => b * b * b,
+            SimKernel::Syrk => b * b * b,
+            SimKernel::Gemm => 2.0 * b * b * b,
+        }
+    }
+
+    /// Fraction of the precision's GEMM rate this kernel class sustains
+    /// (panel kernels are latency- and shape-limited).
+    fn rate_factor(self) -> f64 {
+        match self {
+            SimKernel::Gemm => 1.0,
+            SimKernel::Syrk => 0.9,
+            SimKernel::Trsm => 0.6,
+            SimKernel::Potrf => 0.25,
+        }
+    }
+}
+
+/// Mixed-input GEMM modes write an FP32 `C` and carry conversion overhead
+/// inside the kernel, costing a few percent against pure FP16 (visible in
+/// Fig 1 and the FP64/FP16 > FP64/FP16_32 ordering of Fig 8).
+fn mixed_input_penalty(p: Precision) -> f64 {
+    match p {
+        Precision::Fp16x32 | Precision::Bf16x32 | Precision::Tf32 => 0.93,
+        _ => 1.0,
+    }
+}
+
+/// Size-dependent efficiency: a saturating `n / (n + n_half)` curve whose
+/// half-performance size grows with the precision's peak rate (faster units
+/// need larger tiles to fill) — this is what makes small-size GEMM fall off
+/// peak in Fig 1 and the H100's sustained fraction land near 82% at tile
+/// size 2048.
+fn size_efficiency(spec: &GpuSpec, p: Precision, nb: usize) -> f64 {
+    let n_half = 1.2 * spec.peak_tflops(p);
+    nb as f64 / (nb as f64 + n_half)
+}
+
+/// Execution time (seconds) of one tile kernel at precision `p`.
+pub fn kernel_time_s(spec: &GpuSpec, kind: SimKernel, p: Precision, nb: usize) -> f64 {
+    let peak = spec.peak_tflops(p) * 1e12;
+    let eff = spec.gemm_efficiency
+        * size_efficiency(spec, p, nb)
+        * kind.rate_factor()
+        * mixed_input_penalty(p);
+    let launch = 4e-6; // kernel launch overhead
+    kind.flops(nb) / (peak * eff) + launch
+}
+
+/// Host↔device (or staging) transfer time for `bytes` over a `gbs` GB/s
+/// link with latency `lat`.
+pub fn link_time_s(bytes: u64, gbs: f64, lat: f64) -> f64 {
+    lat + bytes as f64 / (gbs * 1e9)
+}
+
+/// Host↔device transfer time on this GPU's link.
+pub fn xfer_time_s(spec: &GpuSpec, bytes: u64) -> f64 {
+    link_time_s(bytes, spec.host_link_gbs, spec.host_link_latency_s)
+}
+
+/// Device-side datatype conversion of `elems` elements between formats of
+/// `from_bytes` and `to_bytes` per element: memory-bound (read + write)
+/// plus a launch overhead — the cost that makes per-consumer TTC conversion
+/// visible in Fig 1 and Fig 8.
+pub fn convert_time_s(spec: &GpuSpec, elems: u64, from_bytes: usize, to_bytes: usize) -> f64 {
+    let bytes = elems * (from_bytes + to_bytes) as u64;
+    5e-6 + bytes as f64 / (spec.mem_bw_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::GpuGeneration;
+    use mixedp_fp::Precision::*;
+
+    /// Table II row reproduction within 15%.
+    #[test]
+    fn table2_tile_moves() {
+        let v100 = GpuGeneration::V100.spec();
+        let cases = [
+            (2048u64, 8usize, 0.67e-3),
+            (4096, 8, 2.68e-3),
+            (8192, 8, 10.74e-3),
+            (2048, 4, 0.34e-3),
+            (10240, 4, 8.39e-3),
+            (2048, 2, 0.17e-3),
+            (6144, 2, 1.51e-3),
+        ];
+        for (n, b, want) in cases {
+            let got = xfer_time_s(&v100, n * n * b as u64);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.15, "move {n}x{n} {b}B: got {got:e}, want {want:e}");
+        }
+    }
+
+    /// Table II GEMM rows within 15%.
+    #[test]
+    fn table2_gemm_times() {
+        let v100 = GpuGeneration::V100.spec();
+        let cases = [
+            (2048usize, Fp64, 2.2e-3),
+            (6144, Fp64, 59.47e-3),
+            (10240, Fp64, 275.32e-3),
+            (2048, Fp32, 1.09e-3),
+            (8192, Fp32, 70.03e-3),
+            (2048, Fp16, 0.14e-3),
+            (10240, Fp16, 17.18e-3),
+        ];
+        for (n, p, want) in cases {
+            let got = kernel_time_s(&v100, SimKernel::Gemm, p, n);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.15, "GEMM {n} {p}: got {got:e}, want {want:e}");
+        }
+    }
+
+    #[test]
+    fn sustained_fraction_shapes() {
+        // At tile size 2048: V100 FP64 near peak; H100 FP64 well below
+        // (Fig 1d / Fig 8c commentary).
+        let sustain = |g: GpuGeneration, p| {
+            let s = g.spec();
+            let t = kernel_time_s(&s, SimKernel::Gemm, p, 2048);
+            SimKernel::Gemm.flops(2048) / t / (s.peak_tflops(p) * 1e12)
+        };
+        assert!(sustain(GpuGeneration::V100, Fp64) > 0.95);
+        let h = sustain(GpuGeneration::H100, Fp64);
+        assert!(h > 0.6 && h < 0.85, "H100 sustained {h}");
+    }
+
+    #[test]
+    fn kernel_ordering() {
+        let s = GpuGeneration::V100.spec();
+        let g = kernel_time_s(&s, SimKernel::Gemm, Fp64, 2048);
+        let t = kernel_time_s(&s, SimKernel::Trsm, Fp64, 2048);
+        let k = kernel_time_s(&s, SimKernel::Syrk, Fp64, 2048);
+        let p = kernel_time_s(&s, SimKernel::Potrf, Fp64, 2048);
+        // GEMM has 2× the flops of TRSM/SYRK and is the longest kernel;
+        // POTRF has 1/6 of GEMM's flops but the worst rate factor.
+        assert!(g > k && g > t && g > p);
+        assert!(p < t, "POTRF is still shorter than TRSM in absolute time");
+    }
+
+    #[test]
+    fn lower_precision_is_faster_and_smaller() {
+        let s = GpuGeneration::A100.spec();
+        let t64 = kernel_time_s(&s, SimKernel::Gemm, Fp64, 2048);
+        let t16 = kernel_time_s(&s, SimKernel::Gemm, Fp16, 2048);
+        assert!(t16 < t64 / 5.0);
+        assert!(xfer_time_s(&s, 100) < xfer_time_s(&s, 1 << 30));
+    }
+
+    #[test]
+    fn conversion_is_memory_bound() {
+        let s = GpuGeneration::V100.spec();
+        let elems = 2048u64 * 2048;
+        let c = convert_time_s(&s, elems, 4, 2);
+        // ~25 MB over 900 GB/s ≈ 28 µs + launch
+        assert!(c > 2e-5 && c < 1e-4, "{c}");
+        // far cheaper than re-moving the tile over the host link
+        assert!(c < xfer_time_s(&s, elems * 4) / 3.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Power and energy modeling (paper §VII-E, Fig 10).
+//!
+//! Power during a kernel is modeled as `idle + (tdp − idle) · u(kind, p)`
+//! with a utilization factor per kernel class and precision; energy is the
+//! integral of the power trace. The factors encode the paper's observations:
+//! tensor-core GEMMs push the GPU near TDP, FP32 on regular cores draws a
+//! bit less, panel kernels (POTRF/TRSM) under-utilize the device, and the
+//! H100's real-time draw stays below TDP even at full occupancy.
+
+use crate::model::SimKernel;
+use crate::specs::{GpuGeneration, GpuSpec};
+use mixedp_fp::Precision;
+
+/// Utilization factor `u ∈ [0, 1]` for a kernel class at a precision.
+fn utilization(spec: &GpuSpec, kind: SimKernel, p: Precision) -> f64 {
+    let base = match kind {
+        SimKernel::Gemm => 1.0,
+        SimKernel::Syrk => 0.95,
+        SimKernel::Trsm => 0.75,
+        SimKernel::Potrf => 0.45,
+    };
+    let prec = match p {
+        Precision::Fp64 => 0.92,
+        Precision::Fp32 => 0.85,
+        Precision::Tf32 => 0.95,
+        Precision::Fp16x32 | Precision::Bf16x32 => 0.97,
+        Precision::Fp16 => 0.95,
+    };
+    // H100 PCIe does not reach TDP in practice even fully occupied (paper
+    // §VII-E observation on Fig 10 row 3).
+    let cap = match spec.generation {
+        GpuGeneration::H100 => 0.80,
+        _ => 1.0,
+    };
+    base * prec * cap
+}
+
+/// Instantaneous draw (watts) while running `kind` at precision `p`.
+pub fn kernel_power_watts(spec: &GpuSpec, kind: SimKernel, p: Precision) -> f64 {
+    spec.idle_watts + (spec.tdp_watts - spec.idle_watts) * utilization(spec, kind, p)
+}
+
+/// A precision-tagged busy interval on one GPU, in simulated seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerInterval {
+    pub start_s: f64,
+    pub end_s: f64,
+    pub watts: f64,
+}
+
+/// Per-GPU power trace built from the simulated busy intervals.
+#[derive(Debug, Clone, Default)]
+pub struct PowerTrace {
+    intervals: Vec<PowerInterval>,
+    idle_watts: f64,
+}
+
+impl PowerTrace {
+    pub fn new(idle_watts: f64) -> Self {
+        PowerTrace {
+            intervals: Vec::new(),
+            idle_watts,
+        }
+    }
+
+    pub fn push(&mut self, start_s: f64, end_s: f64, watts: f64) {
+        debug_assert!(end_s >= start_s);
+        self.intervals.push(PowerInterval {
+            start_s,
+            end_s,
+            watts,
+        });
+    }
+
+    pub fn intervals(&self) -> &[PowerInterval] {
+        &self.intervals
+    }
+
+    /// Average draw sampled over `bins` equal intervals of `[0, horizon_s]`
+    /// — the shape plotted in Fig 10.
+    ///
+    /// Intervals may overlap (kernels on concurrent streams of the same
+    /// GPU); the device's envelope is set by the most power-hungry resident
+    /// kernel, so each bin draws the *maximum* watts of the intervals
+    /// covering it, weighted by the covered fraction, with the remainder at
+    /// idle draw.
+    pub fn sampled_watts(&self, horizon_s: f64, bins: usize) -> Vec<f64> {
+        assert!(bins > 0 && horizon_s > 0.0);
+        let w = horizon_s / bins as f64;
+        let mut peak = vec![0.0f64; bins]; // max busy watts seen in the bin
+        let mut busy = vec![0.0f64; bins]; // covered time (capped at w)
+        for iv in &self.intervals {
+            let first = ((iv.start_s / w) as usize).min(bins - 1);
+            let last = ((iv.end_s / w) as usize).min(bins - 1);
+            for bin in first..=last {
+                let lo = bin as f64 * w;
+                let hi = lo + w;
+                let overlap = (iv.end_s.min(hi) - iv.start_s.max(lo)).max(0.0);
+                if overlap > 0.0 {
+                    peak[bin] = peak[bin].max(iv.watts);
+                    busy[bin] = (busy[bin] + overlap).min(w);
+                }
+            }
+        }
+        (0..bins)
+            .map(|b| (busy[b] * peak[b] + (w - busy[b]) * self.idle_watts) / w)
+            .collect()
+    }
+
+    /// Total energy in joules over `[0, horizon_s]`: sampled integration of
+    /// the power envelope (4096 bins is well below 0.1% error for these
+    /// traces).
+    pub fn energy_joules(&self, horizon_s: f64) -> f64 {
+        if horizon_s <= 0.0 {
+            return 0.0;
+        }
+        let bins = 4096;
+        let w = horizon_s / bins as f64;
+        self.sampled_watts(horizon_s, bins).iter().sum::<f64>() * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_between_idle_and_tdp() {
+        for g in GpuGeneration::ALL {
+            let s = g.spec();
+            for kind in [SimKernel::Potrf, SimKernel::Trsm, SimKernel::Syrk, SimKernel::Gemm] {
+                for p in Precision::ALL {
+                    let w = kernel_power_watts(&s, kind, p);
+                    assert!(w > s.idle_watts && w <= s.tdp_watts, "{g:?} {kind:?} {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_draws_more_than_potrf() {
+        let s = GpuGeneration::V100.spec();
+        assert!(
+            kernel_power_watts(&s, SimKernel::Gemm, Precision::Fp64)
+                > kernel_power_watts(&s, SimKernel::Potrf, Precision::Fp64)
+        );
+    }
+
+    #[test]
+    fn h100_stays_below_tdp() {
+        let s = GpuGeneration::H100.spec();
+        let w = kernel_power_watts(&s, SimKernel::Gemm, Precision::Fp16);
+        assert!(w < 0.9 * s.tdp_watts, "{w}");
+    }
+
+    #[test]
+    fn energy_integrates_busy_and_idle() {
+        let mut t = PowerTrace::new(50.0);
+        t.push(0.0, 1.0, 300.0);
+        t.push(2.0, 3.0, 200.0);
+        // 1s@300 + 1s@200 + 2s idle@50
+        assert!((t.energy_joules(4.0) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_watts_shape() {
+        let mut t = PowerTrace::new(50.0);
+        t.push(0.0, 1.0, 300.0);
+        let s = t.sampled_watts(2.0, 2);
+        assert!((s[0] - 300.0).abs() < 1e-9, "{s:?}");
+        assert!((s[1] - 50.0).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn shorter_run_at_same_power_saves_energy() {
+        // the paper's core energy argument: MP finishes sooner
+        let mut fp64 = PowerTrace::new(50.0);
+        fp64.push(0.0, 10.0, 280.0);
+        let mut mp = PowerTrace::new(50.0);
+        mp.push(0.0, 3.0, 290.0);
+        assert!(mp.energy_joules(3.0) < fp64.energy_joules(10.0) / 2.5);
+    }
+}

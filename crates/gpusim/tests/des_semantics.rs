@@ -1,0 +1,167 @@
+//! Integration tests of the discrete-event engine's data semantics:
+//! version invalidation, node-level host caching, and engine accounting.
+
+use mixedp_fp::Precision;
+use mixedp_gpusim::{ClusterSpec, NodeSpec, SimConfig, SimInput, SimKernel, SimTask, Simulator};
+
+fn task(deps: Vec<u32>, gpu: u32, out_tile: u32, inputs: Vec<SimInput>, nb: usize) -> SimTask {
+    SimTask {
+        deps,
+        gpu,
+        kind: SimKernel::Gemm,
+        precision: Precision::Fp64,
+        nb,
+        inputs,
+        out_tile,
+        out_bytes: (nb * nb * 8) as u64,
+        send_convert_elems: 0,
+        send_convert_from: 0,
+        send_convert_to: 0,
+        priority: 0,
+    }
+}
+
+#[test]
+fn stale_version_is_refetched_not_reused() {
+    // GPU 1 caches tile 5, then GPU 0 overwrites tile 5; a second read on
+    // GPU 1 must fetch the new version (traffic occurs twice).
+    let mut node = NodeSpec::summit();
+    node.gpus = 2;
+    let sim = Simulator::new(ClusterSpec::new(node, 1), SimConfig::default());
+    let nb = 1024;
+    let bytes = (nb * nb * 8) as u64;
+    let tasks = vec![
+        // t0: gpu0 produces tile 5 (v1)
+        task(vec![], 0, 5, vec![], nb),
+        // t1: gpu1 reads tile 5 (v1) -> p2p transfer #1
+        task(vec![0], 1, 100, vec![SimInput::plain(5, bytes)], nb),
+        // t2: gpu0 overwrites tile 5 (v2) (depends on reader: anti-dep)
+        task(vec![1], 0, 5, vec![], nb),
+        // t3: gpu1 reads tile 5 (v2) -> must transfer again
+        task(vec![2], 1, 101, vec![SimInput::plain(5, bytes)], nb),
+    ];
+    let rep = sim.run(
+        &tasks,
+        &[(5, 0, bytes), (100, 0, bytes), (101, 0, bytes)],
+    );
+    assert_eq!(rep.p2p_bytes, 2 * bytes, "both versions must cross the link");
+}
+
+#[test]
+fn node_host_cache_shares_nic_arrivals() {
+    // Producer on node 0; two consumers on *different GPUs of node 1*.
+    // The tile must cross the fabric once — the second GPU reads the
+    // staged host copy of its own node.
+    let sim = Simulator::new(ClusterSpec::summit(2), SimConfig::default());
+    let nb = 1024;
+    let bytes = (nb * nb * 8) as u64;
+    let tasks = vec![
+        task(vec![], 0, 7, vec![], nb),
+        task(vec![0], 6, 200, vec![SimInput::plain(7, bytes)], nb), // node 1, gpu 6
+        task(vec![0], 7, 201, vec![SimInput::plain(7, bytes)], nb), // node 1, gpu 7
+    ];
+    let rep = sim.run(&tasks, &[(7, 0, bytes), (200, 1, bytes), (201, 1, bytes)]);
+    assert_eq!(rep.nic_bytes, bytes, "one fabric crossing for two consumers");
+    // both consumers H2D from their node's host copy
+    assert!(rep.h2d_bytes >= 2 * bytes);
+}
+
+#[test]
+fn recv_conversion_charged_on_consumer_stream() {
+    let sim = Simulator::new(
+        ClusterSpec::new(NodeSpec::summit().single_gpu(), 1),
+        SimConfig::default(),
+    );
+    let nb = 2048;
+    let bytes = (nb * nb * 4) as u64;
+    let inp = SimInput {
+        tile: 9,
+        wire_bytes: bytes,
+        recv_convert_elems: (nb * nb) as u64,
+        recv_convert_from: 4,
+        recv_convert_to: 8,
+    };
+    let with = sim.run(
+        &[task(vec![], 0, 1, vec![inp], nb)],
+        &[(9, 0, bytes), (1, 0, bytes)],
+    );
+    let without = sim.run(
+        &[task(vec![], 0, 1, vec![SimInput::plain(9, bytes)], nb)],
+        &[(9, 0, bytes), (1, 0, bytes)],
+    );
+    assert_eq!(with.conversions, 1);
+    assert_eq!(without.conversions, 0);
+    assert!(with.makespan_s > without.makespan_s);
+    assert!((with.makespan_s - without.makespan_s - with.conversion_s).abs() < 1e-9);
+}
+
+#[test]
+fn unit_classes_overlap_but_same_class_serializes() {
+    // Two independent FP64 GEMMs serialize (same unit class); an FP64 GEMM
+    // and an FP16 GEMM overlap on V100 (different classes).
+    let sim = Simulator::new(
+        ClusterSpec::new(NodeSpec::summit().single_gpu(), 1),
+        SimConfig::default(),
+    );
+    let nb = 2048;
+    let bytes = (nb * nb * 8) as u64;
+    let mk = |p: Precision, out: u32| {
+        let mut t = task(vec![], 0, out, vec![], nb);
+        t.precision = p;
+        t
+    };
+    let seed = &[(1u32, 0u32, bytes), (2, 0, bytes)];
+    let same = sim.run(&[mk(Precision::Fp64, 1), mk(Precision::Fp64, 2)], seed);
+    let mixed = sim.run(&[mk(Precision::Fp64, 1), mk(Precision::Fp16, 2)], seed);
+    // serialized: makespan ≈ 2 kernels; overlapped: ≈ max(kernels)
+    assert!(
+        mixed.makespan_s < same.makespan_s * 0.7,
+        "mixed {} vs same {}",
+        mixed.makespan_s,
+        same.makespan_s
+    );
+}
+
+#[test]
+fn occupancy_union_never_exceeds_one() {
+    // Overlapping unit classes must not push occupancy past 100%.
+    let sim = Simulator::new(
+        ClusterSpec::new(NodeSpec::summit().single_gpu(), 1),
+        SimConfig::default(),
+    );
+    let nb = 2048;
+    let bytes = (nb * nb * 8) as u64;
+    let mut tasks = Vec::new();
+    for i in 0..6u32 {
+        let p = match i % 3 {
+            0 => Precision::Fp64,
+            1 => Precision::Fp32,
+            _ => Precision::Fp16,
+        };
+        let mut t = task(vec![], 0, 10 + i, vec![], nb);
+        t.precision = p;
+        tasks.push(t);
+    }
+    let seed: Vec<(u32, u32, u64)> = (0..6).map(|i| (10 + i, 0, bytes)).collect();
+    let rep = sim.run(&tasks, &seed);
+    assert!(rep.occupancy() <= 1.0 + 1e-12, "{}", rep.occupancy());
+    for v in rep.occupancy_series(0, 16) {
+        assert!(v <= 1.0 + 1e-12);
+    }
+}
+
+#[test]
+fn energy_respects_tdp_envelope() {
+    let node = NodeSpec::summit().single_gpu();
+    let sim = Simulator::new(ClusterSpec::new(node, 1), SimConfig::default());
+    let nb = 2048;
+    let bytes = (nb * nb * 8) as u64;
+    let tasks: Vec<SimTask> = (0..4u32)
+        .map(|i| task(if i == 0 { vec![] } else { vec![i - 1] }, 0, 20 + i, vec![], nb))
+        .collect();
+    let seed: Vec<(u32, u32, u64)> = (0..4).map(|i| (20 + i, 0, bytes)).collect();
+    let rep = sim.run(&tasks, &seed);
+    let avg_watts = rep.energy_joules() / rep.makespan_s;
+    assert!(avg_watts <= node.gpu.tdp_watts + 1e-9, "avg {avg_watts} W");
+    assert!(avg_watts > node.gpu.idle_watts, "avg {avg_watts} W");
+}

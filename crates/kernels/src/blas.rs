@@ -1,0 +1,534 @@
+//! Reference dense kernels on raw row-major buffers.
+//!
+//! Shapes follow the tile Cholesky of Algorithm 1 (lower variant):
+//!
+//! * `potrf`: `A = L Lᵀ`, lower triangle in place.
+//! * `trsm_rlt`: right-side, lower, transposed — `X Lᵀ = B`, in place on B.
+//! * `syrk_ln`: `C ← C − A Aᵀ`, lower triangle only.
+//! * `gemm_nt`: `C ← C − A Bᵀ` (the trailing-update `alpha = −1, beta = 1`
+//!   form; general `alpha/beta` GEMM is [`gemm_full_f64`]).
+//!
+//! Row-major with `B` transposed makes every inner loop a dot product of two
+//! contiguous rows, which the compiler auto-vectorizes; the large kernels
+//! parallelize across output rows with rayon, per the hpc-parallel guides.
+
+use rayon::prelude::*;
+
+/// Error: the matrix was not (numerically) symmetric positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotSpd {
+    /// Column at which a non-positive pivot appeared.
+    pub column: usize,
+}
+
+impl std::fmt::Display for NotSpd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at column {}", self.column)
+    }
+}
+
+impl std::error::Error for NotSpd {}
+
+/// Minimum row count before a kernel bothers spawning rayon tasks.
+const PAR_THRESHOLD: usize = 64;
+
+/// Unblocked lower Cholesky in place on a row-major `n × n` buffer.
+/// On success the lower triangle holds `L`; the strict upper triangle is
+/// left untouched.
+pub fn potrf_f64(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
+    assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for t in 0..j {
+            d -= a[j * n + t] * a[j * n + t];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotSpd { column: j });
+        }
+        let l = d.sqrt();
+        a[j * n + j] = l;
+        // Split so row j (read-only) and rows j+1.. (written) don't alias.
+        let (head, tail) = a.split_at_mut((j + 1) * n);
+        let row_j = &head[j * n..j * n + j];
+        let update = |chunk: &mut [f64]| {
+            let s: f64 = chunk[..j].iter().zip(row_j).map(|(x, y)| x * y).sum();
+            chunk[j] = (chunk[j] - s) / l;
+        };
+        if n - j - 1 >= PAR_THRESHOLD {
+            tail.par_chunks_mut(n).for_each(update);
+        } else {
+            tail.chunks_mut(n).for_each(update);
+        }
+    }
+    Ok(())
+}
+
+/// Lower Cholesky in f32 arithmetic (used by FP32-mode tiles).
+pub fn potrf_f32(a: &mut [f32], n: usize) -> Result<(), NotSpd> {
+    assert_eq!(a.len(), n * n);
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for t in 0..j {
+            d -= a[j * n + t] * a[j * n + t];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotSpd { column: j });
+        }
+        let l = d.sqrt();
+        a[j * n + j] = l;
+        for i in (j + 1)..n {
+            let s: f32 = a[i * n..i * n + j]
+                .iter()
+                .zip(&a[j * n..j * n + j])
+                .map(|(x, y)| x * y)
+                .sum();
+            a[i * n + j] = (a[i * n + j] - s) / l;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `X Lᵀ = B` in place on `B` (`m × n`), with `l` the lower-triangular
+/// `n × n` factor. Each row of `B` is an independent forward substitution.
+pub fn trsm_rlt_f64(l: &[f64], n: usize, b: &mut [f64], m: usize) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(b.len(), m * n);
+    let row_solve = |row: &mut [f64]| {
+        for j in 0..n {
+            let s: f64 = l[j * n..j * n + j]
+                .iter()
+                .zip(row.iter())
+                .map(|(lj, x)| lj * x)
+                .sum();
+            row[j] = (row[j] - s) / l[j * n + j];
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        b.par_chunks_mut(n).for_each(row_solve);
+    } else {
+        b.chunks_mut(n).for_each(row_solve);
+    }
+}
+
+/// f32 variant of [`trsm_rlt_f64`].
+pub fn trsm_rlt_f32(l: &[f32], n: usize, b: &mut [f32], m: usize) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(b.len(), m * n);
+    let row_solve = |row: &mut [f32]| {
+        for j in 0..n {
+            let s: f32 = l[j * n..j * n + j]
+                .iter()
+                .zip(row.iter())
+                .map(|(lj, x)| lj * x)
+                .sum();
+            row[j] = (row[j] - s) / l[j * n + j];
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        b.par_chunks_mut(n).for_each(row_solve);
+    } else {
+        b.chunks_mut(n).for_each(row_solve);
+    }
+}
+
+/// `C ← C − A Aᵀ` on the lower triangle of the `m × m` matrix `C`,
+/// with `A` an `m × k` panel.
+pub fn syrk_ln_f64(a: &[f64], m: usize, k: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(c.len(), m * m);
+    let body = |(i, crow): (usize, &mut [f64])| {
+        let ai = &a[i * k..(i + 1) * k];
+        for j in 0..=i {
+            let aj = &a[j * k..(j + 1) * k];
+            let s: f64 = ai.iter().zip(aj).map(|(x, y)| x * y).sum();
+            crow[j] -= s;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(m).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(m).enumerate().for_each(body);
+    }
+}
+
+/// `C ← C − A Bᵀ` with `A: m × k`, `B: n × k`, `C: m × n` (f64).
+pub fn gemm_nt_f64(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let body = |(i, crow): (usize, &mut [f64])| {
+        let ai = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let s: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+            *cij -= s;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C ← C − A Bᵀ` in f32 arithmetic (FP32 accumulation — also the compute
+/// path for TF32 / FP16_32 / BF16_32 after their input quantization).
+pub fn gemm_nt_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let body = |(i, crow): (usize, &mut [f32])| {
+        let ai = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let s: f32 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+            *cij -= s;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// General `C ← alpha · A Bᵀ + beta · C` in f64 (used by the standalone GEMM
+/// benchmark of paper §IV).
+pub fn gemm_full_f64(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    let body = |(i, crow): (usize, &mut [f64])| {
+        let ai = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let s: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+            *cij = alpha * s + beta * *cij;
+        }
+    };
+    if m >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Full lower Cholesky of a dense row-major `n × n` matrix in place
+/// (reference path: FP64 throughout). Uses the blocked algorithm above a
+/// size threshold — same kernels as the tile factorization, better cache
+/// behaviour than the unblocked loop.
+pub fn cholesky_in_place(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
+    if n <= 128 {
+        potrf_f64(a, n)
+    } else {
+        potrf_blocked_f64(a, n, 64)
+    }
+}
+
+/// Blocked right-looking lower Cholesky on a dense row-major buffer:
+/// the dense-level mirror of Algorithm 1 (POTRF/TRSM/SYRK/GEMM on
+/// `nb`-sized panels).
+pub fn potrf_blocked_f64(a: &mut [f64], n: usize, nb: usize) -> Result<(), NotSpd> {
+    assert_eq!(a.len(), n * n);
+    assert!(nb > 0);
+    // scratch block buffers (contiguous copies of the sub-blocks)
+    let read_block = |a: &[f64], i0: usize, j0: usize, r: usize, c: usize| -> Vec<f64> {
+        let mut b = Vec::with_capacity(r * c);
+        for i in 0..r {
+            b.extend_from_slice(&a[(i0 + i) * n + j0..(i0 + i) * n + j0 + c]);
+        }
+        b
+    };
+    let write_block = |a: &mut [f64], b: &[f64], i0: usize, j0: usize, r: usize, c: usize| {
+        for i in 0..r {
+            a[(i0 + i) * n + j0..(i0 + i) * n + j0 + c].copy_from_slice(&b[i * c..(i + 1) * c]);
+        }
+    };
+    let nt = n.div_ceil(nb);
+    let dim = |t: usize| (n - t * nb).min(nb);
+    for k in 0..nt {
+        let dk = dim(k);
+        let mut lkk = read_block(a, k * nb, k * nb, dk, dk);
+        potrf_f64(&mut lkk, dk).map_err(|e| NotSpd {
+            column: k * nb + e.column,
+        })?;
+        // zero the strict upper of the diagonal block
+        for i in 0..dk {
+            for j in (i + 1)..dk {
+                lkk[i * dk + j] = 0.0;
+            }
+        }
+        write_block(a, &lkk, k * nb, k * nb, dk, dk);
+        for m in (k + 1)..nt {
+            let dm = dim(m);
+            let mut bmk = read_block(a, m * nb, k * nb, dm, dk);
+            trsm_rlt_f64(&lkk, dk, &mut bmk, dm);
+            write_block(a, &bmk, m * nb, k * nb, dm, dk);
+        }
+        for m in (k + 1)..nt {
+            let dm = dim(m);
+            let amk = read_block(a, m * nb, k * nb, dm, dk);
+            let mut cmm = read_block(a, m * nb, m * nb, dm, dm);
+            syrk_ln_f64(&amk, dm, dk, &mut cmm);
+            write_block(a, &cmm, m * nb, m * nb, dm, dm);
+            for t in (k + 1)..m {
+                let dt = dim(t);
+                let atk = read_block(a, t * nb, k * nb, dt, dk);
+                let mut cmt = read_block(a, m * nb, t * nb, dm, dt);
+                gemm_nt_f64(&amk, &atk, &mut cmt, dm, dt, dk);
+                write_block(a, &cmt, m * nb, t * nb, dm, dt);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solve `L y = b` in place on `b`, with `l` lower-triangular `n × n`
+/// row-major (forward substitution).
+pub fn forward_solve_in_place(l: &[f64], n: usize, b: &mut [f64]) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(b.len(), n);
+    for i in 0..n {
+        let s: f64 = l[i * n..i * n + i].iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        b[i] = (b[i] - s) / l[i * n + i];
+    }
+}
+
+/// Solve `Lᵀ x = b` in place on `b` (backward substitution).
+pub fn backward_solve_trans_in_place(l: &[f64], n: usize, b: &mut [f64]) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(b.len(), n);
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= l[j * n + i] * b[j];
+        }
+        b[i] = s / l[i * n + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Vec<f64> {
+        // diagonally dominant symmetric => SPD
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    fn reconstruct(l: &[f64], n: usize) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..=i.min(j) {
+                    s += l[i * n + t] * l[j * n + t];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let n = 17;
+        let a0 = spd(n);
+        let mut a = a0.clone();
+        potrf_f64(&mut a, n).unwrap();
+        // zero strict upper for reconstruction
+        let mut l = a.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[i * n + j] = 0.0;
+            }
+        }
+        let r = reconstruct(&l, n);
+        for (x, y) in r.iter().zip(&a0) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let n = 3;
+        let mut a = vec![1.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(potrf_f64(&mut a, n), Err(NotSpd { column: 1 }));
+    }
+
+    #[test]
+    fn potrf_f32_agrees_with_f64_loosely() {
+        let n = 12;
+        let a0 = spd(n);
+        let mut a64 = a0.clone();
+        potrf_f64(&mut a64, n).unwrap();
+        let mut a32: Vec<f32> = a0.iter().map(|&x| x as f32).collect();
+        potrf_f32(&mut a32, n).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                let d = (a64[i * n + j] - a32[i * n + j] as f64).abs();
+                assert!(d < 1e-4 * a64[j * n + j].abs().max(1.0), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_solves() {
+        let n = 8;
+        let m = 5;
+        let mut l = spd(n);
+        potrf_f64(&mut l, n).unwrap();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[i * n + j] = 0.0;
+            }
+        }
+        // B = X0 * L^T for known X0; solve must recover X0
+        let x0: Vec<f64> = (0..m * n).map(|t| ((t * 13 % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..n {
+                    s += x0[i * n + t] * l[j * n + t]; // (L^T)[t][j] = L[j][t]
+                }
+                b[i * n + j] = s;
+            }
+        }
+        trsm_rlt_f64(&l, n, &mut b, m);
+        for (x, y) in b.iter().zip(&x0) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_lower() {
+        let m = 6;
+        let k = 4;
+        let a: Vec<f64> = (0..m * k).map(|t| (t as f64) * 0.31 - 2.0).collect();
+        let c0: Vec<f64> = (0..m * m).map(|t| (t as f64) * 0.05).collect();
+        let mut c_syrk = c0.clone();
+        syrk_ln_f64(&a, m, k, &mut c_syrk);
+        let mut c_gemm = c0.clone();
+        gemm_nt_f64(&a, &a, &mut c_gemm, m, m, k);
+        for i in 0..m {
+            for j in 0..=i {
+                assert!((c_syrk[i * m + j] - c_gemm[i * m + j]).abs() < 1e-12);
+            }
+        }
+        // upper triangle untouched by syrk
+        for i in 0..m {
+            for j in (i + 1)..m {
+                assert_eq!(c_syrk[i * m + j], c0[i * m + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        // A = [[1,2]], B = [[3,4]] => A B^T = [[11]]
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let mut c = vec![100.0];
+        gemm_nt_f64(&a, &b, &mut c, 1, 1, 2);
+        assert_eq!(c[0], 89.0);
+        let mut c2 = vec![100.0];
+        gemm_full_f64(2.0, &a, &b, 0.5, &mut c2, 1, 1, 2);
+        assert_eq!(c2[0], 72.0);
+    }
+
+    #[test]
+    fn solves_roundtrip() {
+        let n = 10;
+        let mut l = spd(n);
+        potrf_f64(&mut l, n).unwrap();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64) - 4.5).collect();
+        // b = L x0
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for t in 0..=i {
+                b[i] += l[i * n + t] * x0[t];
+            }
+        }
+        forward_solve_in_place(&l, n, &mut b);
+        for (x, y) in b.iter().zip(&x0) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        // and L^T path
+        let mut b2 = vec![0.0; n];
+        for i in 0..n {
+            for j in i..n {
+                b2[i] += l[j * n + i] * x0[j];
+            }
+        }
+        backward_solve_trans_in_place(&l, n, &mut b2);
+        for (x, y) in b2.iter().zip(&x0) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_matches_unblocked() {
+        for n in [8usize, 33, 96, 130] {
+            let a0 = spd(n);
+            let mut plain = a0.clone();
+            potrf_f64(&mut plain, n).unwrap();
+            let mut blocked = a0.clone();
+            potrf_blocked_f64(&mut blocked, n, 24).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    let d = (plain[i * n + j] - blocked[i * n + j]).abs();
+                    assert!(d < 1e-11, "n={n} ({i},{j}): {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_reports_global_failure_column() {
+        // indefinite in the second block
+        let n = 40;
+        let mut a = spd(n);
+        a[30 * n + 30] = -100.0;
+        let err = potrf_blocked_f64(&mut a, n, 16).unwrap_err();
+        assert_eq!(err.column, 30);
+    }
+
+    #[test]
+    fn parallel_threshold_paths_agree() {
+        // exercise the rayon path (m >= 64) against the serial one
+        let (m, n, k) = (80, 16, 24);
+        let a: Vec<f64> = (0..m * k).map(|t| ((t * 29 % 17) as f64) * 0.1).collect();
+        let b: Vec<f64> = (0..n * k).map(|t| ((t * 31 % 13) as f64) * 0.2).collect();
+        let mut c1 = vec![1.0; m * n];
+        gemm_nt_f64(&a, &b, &mut c1, m, n, k);
+        // serial reference
+        let mut c2 = vec![1.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += a[i * k + t] * b[j * k + t];
+                }
+                c2[i * n + j] -= s;
+            }
+        }
+        assert_eq!(c1, c2);
+    }
+}

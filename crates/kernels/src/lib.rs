@@ -1,0 +1,24 @@
+//! Dense numerical kernels for the tile Cholesky, in reference FP64 and in
+//! emulated mixed precision.
+//!
+//! Algorithm 1 of the paper uses four kernels: POTRF (tile Cholesky), TRSM
+//! (triangular solve), SYRK (symmetric rank-k update), GEMM (general matrix
+//! multiply). [`blas`] provides the reference implementations on raw `f64`
+//! (and `f32`) buffers; [`mp`] provides tile-level wrappers whose arithmetic
+//! follows each precision format's semantics exactly (see crate
+//! `mixedp-fp`); [`validate`] provides the error norms used by the tests and
+//! the GEMM-accuracy benchmark (paper Fig 1).
+
+pub mod blas;
+pub mod mp;
+pub mod solve;
+pub mod validate;
+
+pub use blas::{
+    backward_solve_trans_in_place, gemm_full_f64,
+    cholesky_in_place, forward_solve_in_place, gemm_nt_f32, gemm_nt_f64, potrf_f32, potrf_f64,
+    syrk_ln_f64, trsm_rlt_f32, trsm_rlt_f64, NotSpd,
+};
+pub use mp::{gemm_tile, kernel_flops, potrf_tile, syrk_tile, trsm_effective_precision, trsm_tile, KernelKind};
+pub use solve::{backward_solve_trans_tiled, forward_solve_tiled, spd_solve_tiled};
+pub use validate::{gemm_relative_error, max_rel_diff, reconstruction_error};

@@ -1,0 +1,381 @@
+//! Mixed-precision tile kernels with faithful per-format arithmetic.
+//!
+//! The emulation contract (DESIGN.md §7):
+//!
+//! * **FP32** — inputs on the binary32 grid, f32 accumulation.
+//! * **TF32** — inputs rounded to a 10-bit mantissa, f32 accumulation.
+//! * **FP16_32 / BF16_32** — inputs rounded to binary16 / bfloat16, f32
+//!   accumulation (the f16·f16 product is exact in f32, exactly as tensor
+//!   cores compute it).
+//! * **FP16** — inputs *and* the running accumulation in binary16, with
+//!   per-operation rounding.
+//! * Hardware limitation (paper §V): FP16-class TRSM does not exist on
+//!   NVIDIA GPUs, so [`trsm_effective_precision`] clamps those to FP32, and
+//!   POTRF/SYRK on diagonal tiles always run FP64 (Algorithm 1 "D" prefix).
+
+use crate::blas;
+use half::f16;
+use mixedp_fp::Precision;
+use mixedp_tile::Tile;
+use rayon::prelude::*;
+
+/// The precision a TRSM actually executes in when the tile's kernel
+/// precision is `p` — FP16-class tiles fall back to FP32 (paper §V).
+pub fn trsm_effective_precision(p: Precision) -> Precision {
+    match p {
+        Precision::Fp64 => Precision::Fp64,
+        _ => Precision::Fp32,
+    }
+}
+
+/// POTRF on a diagonal tile: always FP64 (Algorithm 1 `DPOTRF`).
+pub fn potrf_tile(c: &mut Tile) -> Result<(), blas::NotSpd> {
+    let n = c.rows();
+    assert_eq!(n, c.cols(), "POTRF needs a square tile");
+    let mut a = c.to_f64();
+    blas::potrf_f64(&mut a, n)?;
+    // Zero the strict upper triangle so the tile holds exactly L.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            a[i * n + j] = 0.0;
+        }
+    }
+    c.store_f64(&a);
+    Ok(())
+}
+
+/// TRSM: `C_mk ← C_mk · L_kkᵀ⁻¹` at kernel precision `p` (clamped per
+/// [`trsm_effective_precision`]). `l` is the factored diagonal tile.
+pub fn trsm_tile(p: Precision, l: &Tile, b: &mut Tile) {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(b.cols(), n);
+    let m = b.rows();
+    match trsm_effective_precision(p) {
+        Precision::Fp64 => {
+            let lf = l.to_f64();
+            let mut bf = b.to_f64();
+            blas::trsm_rlt_f64(&lf, n, &mut bf, m);
+            b.store_f64(&bf);
+        }
+        _ => {
+            let lf: Vec<f32> = l.to_f64().iter().map(|&x| x as f32).collect();
+            let mut bf: Vec<f32> = b.to_f64().iter().map(|&x| x as f32).collect();
+            blas::trsm_rlt_f32(&lf, n, &mut bf, m);
+            let wide: Vec<f64> = bf.iter().map(|&x| x as f64).collect();
+            b.store_f64(&wide);
+        }
+    }
+}
+
+/// SYRK on a diagonal tile: `C_mm ← C_mm − C_mk C_mkᵀ`, always FP64
+/// (Algorithm 1 `DSYRK`). The input panel may arrive in reduced storage —
+/// widening it is lossless; the precision loss already happened when the
+/// panel was stored, which is exactly the paper's error model.
+pub fn syrk_tile(a: &Tile, c: &mut Tile) {
+    let m = c.rows();
+    assert_eq!(m, c.cols());
+    assert_eq!(a.rows(), m);
+    let k = a.cols();
+    let af = a.to_f64();
+    let mut cf = c.to_f64();
+    blas::syrk_ln_f64(&af, m, k, &mut cf);
+    c.store_f64(&cf);
+}
+
+/// GEMM: `C_mn ← C_mn − C_mk C_nkᵀ` at kernel precision `p`.
+pub fn gemm_tile(p: Precision, a: &Tile, b: &Tile, c: &mut Tile) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = a.cols();
+    assert_eq!(a.rows(), m);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), k);
+    match p {
+        Precision::Fp64 => {
+            let af = a.to_f64();
+            let bf = b.to_f64();
+            let mut cf = c.to_f64();
+            blas::gemm_nt_f64(&af, &bf, &mut cf, m, n, k);
+            c.store_f64(&cf);
+        }
+        Precision::Fp16 => gemm_tile_f16(a, b, c),
+        _ => {
+            // FP32 / TF32 / FP16_32 / BF16_32: quantize inputs to the
+            // format's grid, accumulate in f32.
+            let af = quantize_to_f32(p, a);
+            let bf = quantize_to_f32(p, b);
+            let mut cf: Vec<f32> = c.to_f64().iter().map(|&x| x as f32).collect();
+            blas::gemm_nt_f32(&af, &bf, &mut cf, m, n, k);
+            let wide: Vec<f64> = cf.iter().map(|&x| x as f64).collect();
+            c.store_f64(&wide);
+        }
+    }
+}
+
+/// Quantize a tile's values through `p`'s input representation into an f32
+/// compute buffer (every value of every format ≤ FP32 is exactly f32
+/// representable).
+fn quantize_to_f32(p: Precision, t: &Tile) -> Vec<f32> {
+    t.to_f64()
+        .iter()
+        .map(|&x| mixedp_fp::quantize(p, x) as f32)
+        .collect()
+}
+
+/// Pure-FP16 GEMM: binary16 inputs, binary16 multiply results, binary16
+/// running accumulation — per-operation rounding via `half::f16`.
+fn gemm_tile_f16(a: &Tile, b: &Tile, c: &mut Tile) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = a.cols();
+    let af: Vec<f16> = a.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
+    let bf: Vec<f16> = b.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
+    let mut cf: Vec<f16> = c.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
+    let body = |(i, crow): (usize, &mut [f16])| {
+        let ai = &af[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &bf[j * k..(j + 1) * k];
+            let mut acc = *cij;
+            for (x, y) in ai.iter().zip(bj) {
+                let prod = *x * *y; // f16 multiply (rounds to f16)
+                acc = acc - prod; // f16 subtract (rounds to f16)
+            }
+            *cij = acc;
+        }
+    };
+    if m >= 64 {
+        cf.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        cf.chunks_mut(n).enumerate().for_each(body);
+    }
+    let wide: Vec<f64> = cf.iter().map(|x| x.to_f64()).collect();
+    c.store_f64(&wide);
+}
+
+/// FP8 GEMM emulation (extension): inputs rounded through FP8 E4M3, FP32
+/// accumulation — the H100 FP8 tensor-core mode, one precision rung below
+/// the paper's FP16_32. `C ← C − A Bᵀ`.
+pub fn gemm_tile_fp8(a: &Tile, b: &Tile, c: &mut Tile) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = a.cols();
+    assert_eq!(a.rows(), m);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), k);
+    let af: Vec<f32> = a.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32).collect();
+    let bf: Vec<f32> = b.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32).collect();
+    let mut cf: Vec<f32> = c.to_f64().iter().map(|&x| x as f32).collect();
+    crate::blas::gemm_nt_f32(&af, &bf, &mut cf, m, n, k);
+    let wide: Vec<f64> = cf.iter().map(|&x| x as f64).collect();
+    c.store_f64(&wide);
+}
+
+/// Flop count of each Algorithm 1 kernel on `nb × nb` tiles (standard dense
+/// counts; used by the performance model and the Gflop/s reports).
+pub fn kernel_flops(kind: KernelKind, nb: usize) -> f64 {
+    let b = nb as f64;
+    match kind {
+        KernelKind::Potrf => b * b * b / 3.0,
+        KernelKind::Trsm => b * b * b,
+        KernelKind::Syrk => b * b * b,
+        KernelKind::Gemm => 2.0 * b * b * b,
+    }
+}
+
+/// The four kernel classes of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    Potrf,
+    Trsm,
+    Syrk,
+    Gemm,
+}
+
+impl KernelKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Potrf => "POTRF",
+            KernelKind::Trsm => "TRSM",
+            KernelKind::Syrk => "SYRK",
+            KernelKind::Gemm => "GEMM",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedp_fp::StoragePrecision as SP;
+
+    fn spd_tile(n: usize) -> Tile {
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            d[i * n + i] += n as f64;
+        }
+        Tile::from_f64(n, n, &d, SP::F64)
+    }
+
+    fn rand_tile(m: usize, k: usize, seed: u64, storage: SP) -> Tile {
+        // deterministic pseudo-random fill in [-1, 1]
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let d: Vec<f64> = (0..m * k)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect();
+        Tile::from_f64(m, k, &d, storage)
+    }
+
+    #[test]
+    fn potrf_tile_zeros_upper() {
+        let mut t = spd_tile(8);
+        potrf_tile(&mut t).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(t.get(i, j), 0.0);
+            }
+            assert!(t.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gemm_precision_error_ladder() {
+        // Relative error of reduced-precision GEMM vs FP64 must grow as the
+        // format coarsens — the qualitative content of paper Fig 1.
+        let (m, n, k) = (48, 48, 48);
+        let a = rand_tile(m, k, 1, SP::F64);
+        let b = rand_tile(n, k, 2, SP::F64);
+        let exact = {
+            let mut c = Tile::zeros(m, n, SP::F64);
+            gemm_tile(Precision::Fp64, &a, &b, &mut c);
+            c
+        };
+        let mut errs = Vec::new();
+        for p in [
+            Precision::Fp32,
+            Precision::Tf32,
+            Precision::Fp16x32,
+            Precision::Fp16,
+        ] {
+            let mut c = Tile::zeros(m, n, SP::F64);
+            gemm_tile(p, &a, &b, &mut c);
+            let e = crate::validate::gemm_relative_error(&c, &exact);
+            errs.push((p, e));
+        }
+        assert!(errs[0].1 < 1e-6, "FP32 err {:?}", errs[0]);
+        assert!(errs[1].1 > errs[0].1, "TF32 coarser than FP32: {errs:?}");
+        assert!(errs[3].1 > errs[2].1, "FP16 coarser than FP16_32: {errs:?}");
+        assert!(errs[3].1 < 0.2, "FP16 still correlated: {errs:?}");
+    }
+
+    #[test]
+    fn fp16x32_matches_manual_emulation() {
+        let (m, n, k) = (5, 4, 6);
+        let a = rand_tile(m, k, 3, SP::F64);
+        let b = rand_tile(n, k, 4, SP::F64);
+        let mut c = Tile::zeros(m, n, SP::F64);
+        gemm_tile(Precision::Fp16x32, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    let x = f16::from_f64(a.get(i, t)).to_f32();
+                    let y = f16::from_f64(b.get(j, t)).to_f32();
+                    acc += x * y;
+                }
+                assert_eq!(c.get(i, j), -(acc as f64), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_clamps_fp16_to_fp32() {
+        assert_eq!(trsm_effective_precision(Precision::Fp16), Precision::Fp32);
+        assert_eq!(
+            trsm_effective_precision(Precision::Fp16x32),
+            Precision::Fp32
+        );
+        assert_eq!(trsm_effective_precision(Precision::Fp64), Precision::Fp64);
+
+        let mut l = spd_tile(6);
+        potrf_tile(&mut l).unwrap();
+        let b0 = rand_tile(4, 6, 9, SP::F64);
+        let mut b16 = b0.clone();
+        trsm_tile(Precision::Fp16, &l, &mut b16);
+        let mut b32 = b0.clone();
+        trsm_tile(Precision::Fp32, &l, &mut b32);
+        // identical: FP16 TRSM *is* FP32 TRSM
+        assert_eq!(b16.to_f64(), b32.to_f64());
+    }
+
+    #[test]
+    fn trsm_tile_solves() {
+        let n = 8;
+        let mut l = spd_tile(n);
+        potrf_tile(&mut l).unwrap();
+        let x0 = rand_tile(3, n, 7, SP::F64);
+        // b = x0 * L^T
+        let mut b = Tile::zeros(3, n, SP::F64);
+        for i in 0..3 {
+            for j in 0..n {
+                let mut s = 0.0;
+                for t in 0..=j {
+                    s += x0.get(i, t) * l.get(j, t);
+                }
+                b.set(i, j, s);
+            }
+        }
+        trsm_tile(Precision::Fp64, &l, &mut b);
+        for i in 0..3 {
+            for j in 0..n {
+                assert!((b.get(i, j) - x0.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_always_fp64_semantics() {
+        let m = 6;
+        let k = 5;
+        let a = rand_tile(m, k, 11, SP::F64);
+        let mut c = spd_tile(m);
+        let c0 = c.clone();
+        syrk_tile(&a, &mut c);
+        for i in 0..m {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += a.get(i, t) * a.get(j, t);
+                }
+                assert!((c.get(i, j) - (c0.get(i, j) - s)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(kernel_flops(KernelKind::Gemm, 100) as u64, 2_000_000);
+        assert_eq!(kernel_flops(KernelKind::Trsm, 100) as u64, 1_000_000);
+        assert!(kernel_flops(KernelKind::Potrf, 100) < kernel_flops(KernelKind::Trsm, 100));
+    }
+
+    #[test]
+    fn gemm_respects_c_storage_precision() {
+        // C stored in F32: result must lie on the f32 grid
+        let (m, n, k) = (4, 4, 4);
+        let a = rand_tile(m, k, 20, SP::F64);
+        let b = rand_tile(n, k, 21, SP::F64);
+        let mut c = rand_tile(m, n, 22, SP::F32);
+        gemm_tile(Precision::Fp32, &a, &b, &mut c);
+        for v in c.to_f64() {
+            assert_eq!(v as f32 as f64, v);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error norms for validation and for the GEMM-accuracy study (Fig 1).
+
+use mixedp_tile::{DenseMatrix, Tile};
+
+/// Relative Frobenius error `‖C − C_ref‖_F / ‖C_ref‖_F` between two tiles —
+/// the accuracy metric of the paper's GEMM benchmark (§IV).
+pub fn gemm_relative_error(c: &Tile, c_ref: &Tile) -> f64 {
+    assert_eq!((c.rows(), c.cols()), (c_ref.rows(), c_ref.cols()));
+    let cv = c.to_f64();
+    let rv = c_ref.to_f64();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in cv.iter().zip(&rv) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Max elementwise relative difference between two equally-shaped tiles.
+pub fn max_rel_diff(a: &Tile, b: &Tile) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    a.to_f64()
+        .iter()
+        .zip(b.to_f64().iter())
+        .map(|(x, y)| (x - y).abs() / y.abs().max(1e-300))
+        .fold(0.0, f64::max)
+}
+
+/// Cholesky reconstruction error `‖A − L Lᵀ‖_F / ‖A‖_F` for a dense lower
+/// factor `l` against the original symmetric matrix `a`.
+pub fn reconstruction_error(a: &DenseMatrix, l: &DenseMatrix) -> f64 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!((l.rows(), l.cols()), (n, n));
+    let mut num = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for t in 0..=i.min(j) {
+                s += l.get(i, t) * l.get(j, t);
+            }
+            let d = a.get(i, j) - s;
+            num += d * d;
+        }
+    }
+    num.sqrt() / a.fro_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixedp_fp::StoragePrecision;
+
+    #[test]
+    fn zero_error_on_identical() {
+        let t = Tile::from_f64(2, 2, &[1.0, 2.0, 3.0, 4.0], StoragePrecision::F64);
+        assert_eq!(gemm_relative_error(&t, &t), 0.0);
+        assert_eq!(max_rel_diff(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scale_invariant() {
+        let a = Tile::from_f64(1, 2, &[1.0, 0.0], StoragePrecision::F64);
+        let b = Tile::from_f64(1, 2, &[1.1, 0.0], StoragePrecision::F64);
+        let e1 = gemm_relative_error(&b, &a);
+        let a2 = Tile::from_f64(1, 2, &[1000.0, 0.0], StoragePrecision::F64);
+        let b2 = Tile::from_f64(1, 2, &[1100.0, 0.0], StoragePrecision::F64);
+        let e2 = gemm_relative_error(&b2, &a2);
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_error_exact_factor() {
+        // A = L L^T for a hand-built L
+        let l = DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let a = DenseMatrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 10.0]);
+        assert!(reconstruction_error(&a, &l) < 1e-15);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the dense kernels.
+
+use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_kernels::{blas, gemm_relative_error, gemm_tile, potrf_tile, trsm_tile};
+use mixedp_tile::Tile;
+use proptest::prelude::*;
+
+fn tile_from(v: &[f64], rows: usize, cols: usize) -> Tile {
+    Tile::from_f64(rows, cols, v, StoragePrecision::F64)
+}
+
+prop_compose! {
+    fn arb_dims()(m in 1usize..12, n in 1usize..12, k in 1usize..12) -> (usize, usize, usize) {
+        (m, n, k)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FP64 gemm_tile matches a naive triple loop exactly.
+    #[test]
+    fn gemm_fp64_matches_naive(
+        (m, n, k) in arb_dims(),
+        seed in 0u64..1000,
+    ) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let av: Vec<f64> = (0..m * k).map(|_| rnd()).collect();
+        let bv: Vec<f64> = (0..n * k).map(|_| rnd()).collect();
+        let cv: Vec<f64> = (0..m * n).map(|_| rnd()).collect();
+        let a = tile_from(&av, m, k);
+        let b = tile_from(&bv, n, k);
+        let mut c = tile_from(&cv, m, n);
+        gemm_tile(Precision::Fp64, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = cv[i * n + j];
+                let mut dot = 0.0;
+                for t in 0..k {
+                    dot += av[i * k + t] * bv[j * k + t];
+                }
+                want -= dot;
+                prop_assert!((c.get(i, j) - want).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    /// Every reduced-precision GEMM stays within its coarse error budget of
+    /// FP64 (normalized data, bounded k).
+    #[test]
+    fn gemm_reduced_precision_error_budget(seed in 0u64..500) {
+        let (m, n, k) = (16usize, 16usize, 16usize);
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let a = tile_from(&(0..m * k).map(|_| rnd()).collect::<Vec<_>>(), m, k);
+        let b = tile_from(&(0..n * k).map(|_| rnd()).collect::<Vec<_>>(), n, k);
+        let mut c64 = Tile::zeros(m, n, StoragePrecision::F64);
+        gemm_tile(Precision::Fp64, &a, &b, &mut c64);
+        for (p, budget) in [
+            (Precision::Fp32, 1e-5),
+            (Precision::Tf32, 1e-2),
+            (Precision::Fp16x32, 1e-2),
+            (Precision::Bf16x32, 8e-2),
+            (Precision::Fp16, 1e-1),
+        ] {
+            let mut c = Tile::zeros(m, n, StoragePrecision::F64);
+            gemm_tile(p, &a, &b, &mut c);
+            let e = gemm_relative_error(&c, &c64);
+            prop_assert!(e < budget, "{p}: {e:e} > {budget:e}");
+        }
+    }
+
+    /// POTRF then TRSM recovers a planted panel: X L^T = B round trip.
+    #[test]
+    fn trsm_recovers_planted_solution(seed in 0u64..500, n in 2usize..10, m in 1usize..8) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        // SPD tile
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = rnd() * 0.3;
+                d[i * n + j] += v;
+                d[j * n + i] += v;
+            }
+            d[i * n + i] += n as f64;
+        }
+        let mut l = tile_from(&d, n, n);
+        potrf_tile(&mut l).unwrap();
+        let x0v: Vec<f64> = (0..m * n).map(|_| rnd() * 2.0).collect();
+        // b = x0 L^T
+        let mut bv = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..=j {
+                    bv[i * n + j] += x0v[i * n + t] * l.get(j, t);
+                }
+            }
+        }
+        let mut b = tile_from(&bv, m, n);
+        trsm_tile(Precision::Fp64, &l, &mut b);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((b.get(i, j) - x0v[i * n + j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Forward + transposed-backward solve round-trips `Σ x = b` through
+    /// the factored form.
+    #[test]
+    fn solve_roundtrip(seed in 0u64..300, n in 2usize..20) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = rnd() * 0.2;
+                a[i * n + j] += v;
+                a[j * n + i] += v;
+            }
+            a[i * n + i] += n as f64;
+        }
+        let a0 = a.clone();
+        blas::potrf_f64(&mut a, n).unwrap();
+        let x0: Vec<f64> = (0..n).map(|_| rnd() * 3.0).collect();
+        // b = A x0 (using the symmetric original)
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for t in 0..n {
+                b[i] += a0[i * n + t] * x0[t];
+            }
+        }
+        blas::forward_solve_in_place(&a, n, &mut b);
+        blas::backward_solve_trans_in_place(&a, n, &mut b);
+        for (x, y) in b.iter().zip(&x0) {
+            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+}

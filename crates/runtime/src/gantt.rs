@@ -1,0 +1,67 @@
+//! ASCII Gantt rendering of execution traces — terminal-friendly
+//! visualization of the asynchronous schedule (the view PaRSEC's
+//! instrumentation tools provide graphically).
+
+use crate::trace::ExecutionTrace;
+
+/// Render the trace as one row per worker, `width` columns across the
+/// makespan. Each cell shows a digit of the task id that occupied most of
+/// that slot (`·` = idle).
+pub fn render_gantt(trace: &ExecutionTrace, width: usize) -> String {
+    assert!(width > 0);
+    let span = trace.makespan_ns().max(1) as f64;
+    let w = span / width as f64;
+    let mut rows: Vec<Vec<(f64, char)>> = vec![vec![(0.0, '·'); width]; trace.nworkers()];
+    for s in trace.spans() {
+        let first = ((s.start_ns as f64 / w) as usize).min(width - 1);
+        let last = ((s.end_ns as f64 / w) as usize).min(width - 1);
+        let glyph = char::from_digit((s.task % 10) as u32, 10).unwrap();
+        for (col, slot) in rows[s.worker].iter_mut().enumerate().take(last + 1).skip(first) {
+            let lo = col as f64 * w;
+            let hi = lo + w;
+            let overlap = ((s.end_ns as f64).min(hi) - (s.start_ns as f64).max(lo)).max(0.0);
+            if overlap > slot.0 {
+                *slot = (overlap, glyph);
+            }
+        }
+    }
+    let mut out = String::new();
+    for (widx, row) in rows.iter().enumerate() {
+        out.push_str(&format!("w{widx} |"));
+        for &(_, g) in row {
+            out.push(g);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TaskSpan;
+
+    #[test]
+    fn renders_rows_per_worker() {
+        let spans = vec![
+            TaskSpan { task: 1, worker: 0, start_ns: 0, end_ns: 50 },
+            TaskSpan { task: 2, worker: 1, start_ns: 25, end_ns: 100 },
+        ];
+        let t = ExecutionTrace::new(spans, 2);
+        let g = render_gantt(&t, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("w0 |1"));
+        assert!(lines[0].contains('·'), "idle tail of worker 0");
+        assert!(lines[1].ends_with("2|"));
+        // each row has exactly `width` cells between the pipes
+        assert_eq!(lines[0].chars().count(), 4 + 20 + 1);
+    }
+
+    #[test]
+    fn empty_trace_renders_idle() {
+        let t = ExecutionTrace::new(vec![], 1);
+        let g = render_gantt(&t, 8);
+        assert_eq!(g, "w0 |········|\n");
+    }
+}

@@ -1,0 +1,134 @@
+//! Task graphs: vertices are tasks, edges are dataflow dependencies.
+
+/// Index of a task within its [`TaskGraph`].
+pub type TaskId = usize;
+
+/// One task: its dependencies (tasks that must complete first) and a
+/// scheduling priority (higher runs earlier among ready tasks).
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    pub deps: Vec<TaskId>,
+    pub priority: i64,
+}
+
+/// A directed acyclic graph of tasks.
+///
+/// Dependencies must point at already-added tasks (`dep < id`), which makes
+/// the graph acyclic by construction — the natural order in which dataflow
+/// DAGs like Algorithm 1's are emitted.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+}
+
+impl TaskGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        TaskGraph {
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Add a task depending on `deps`; returns its id.
+    ///
+    /// # Panics
+    /// Panics if any dependency is not an already-added task.
+    pub fn add_task(&mut self, deps: Vec<TaskId>, priority: i64) -> TaskId {
+        let id = self.nodes.len();
+        for &d in &deps {
+            assert!(d < id, "dependency {d} of task {id} not yet defined");
+        }
+        self.nodes.push(TaskNode { deps, priority });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &TaskNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Reverse adjacency: for each task, the tasks that depend on it.
+    pub fn dependents(&self) -> Vec<Vec<TaskId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &d in &n.deps {
+                out[d].push(id);
+            }
+        }
+        out
+    }
+
+    /// Number of unmet dependencies per task (dependency counters).
+    pub fn dep_counts(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.deps.len()).collect()
+    }
+
+    /// Length (in tasks) of the longest dependency chain — the critical
+    /// path, which bounds parallel speedup.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut best = 0;
+        for (id, n) in self.nodes.iter().enumerate() {
+            let d = n.deps.iter().map(|&x| depth[x]).max().unwrap_or(0) + 1;
+            depth[id] = d;
+            best = best.max(d);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 1);
+        let c = g.add_task(vec![a, b], 2);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.node(c).deps, vec![a, b]);
+        assert_eq!(g.dep_counts(), vec![0, 1, 2]);
+        assert_eq!(g.dependents()[a], vec![b, c]);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task(vec![3], 0);
+    }
+
+    #[test]
+    fn diamond_critical_path() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 0);
+        let c = g.add_task(vec![a], 0);
+        let _d = g.add_task(vec![b, c], 0);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path_len(), 0);
+    }
+}

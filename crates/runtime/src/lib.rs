@@ -1,0 +1,24 @@
+//! A task-based runtime with dataflow dependencies and asynchronous
+//! scheduling — the PaRSEC-like substrate of the framework (paper §III-B).
+//!
+//! Algorithms are expressed as directed acyclic graphs ([`graph::TaskGraph`])
+//! whose vertices are tasks and whose edges are dependencies. The
+//! [`scheduler`] executes a graph over a pool of worker threads: a task
+//! fires as soon as its dependencies are satisfied (asynchronous,
+//! dependency-driven execution, not a predefined order), with a priority
+//! queue steering workers toward critical-path tasks first — mirroring
+//! PaRSEC's panel-first scheduling for tile Cholesky. [`trace`] records
+//! per-task begin/end intervals for occupancy and Gantt-style analysis
+//! (paper Figs 3, 9).
+
+pub mod dtd;
+pub mod gantt;
+pub mod graph;
+pub mod scheduler;
+pub mod trace;
+
+pub use dtd::{DataKey, DtdBuilder};
+pub use gantt::render_gantt;
+pub use graph::{TaskGraph, TaskId};
+pub use scheduler::{execute_parallel, execute_serial, ExecuteError};
+pub use trace::{ExecutionTrace, TaskSpan};

@@ -1,0 +1,131 @@
+//! Execution traces: per-task spans for occupancy and Gantt analysis.
+
+use crate::graph::TaskId;
+
+/// One executed task: which worker ran it and when (ns since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    pub task: TaskId,
+    pub worker: usize,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl TaskSpan {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The full trace of a parallel execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    spans: Vec<TaskSpan>,
+    nworkers: usize,
+}
+
+impl ExecutionTrace {
+    pub fn new(spans: Vec<TaskSpan>, nworkers: usize) -> Self {
+        ExecutionTrace { spans, nworkers }
+    }
+
+    pub fn spans(&self) -> &[TaskSpan] {
+        &self.spans
+    }
+
+    pub fn nworkers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// Wall-clock makespan in nanoseconds.
+    pub fn makespan_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// Total busy time across workers.
+    pub fn busy_ns(&self) -> u64 {
+        self.spans.iter().map(TaskSpan::duration_ns).sum()
+    }
+
+    /// Average worker occupancy in `[0, 1]`: busy time over
+    /// `makespan × workers`.
+    pub fn occupancy(&self) -> f64 {
+        let span = self.makespan_ns();
+        if span == 0 || self.nworkers == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (span as f64 * self.nworkers as f64)
+    }
+
+    /// Occupancy sampled over `bins` equal intervals: fraction of worker
+    /// time busy within each interval (the shape of paper Fig 9).
+    pub fn occupancy_series(&self, bins: usize) -> Vec<f64> {
+        assert!(bins > 0);
+        let span = self.makespan_ns().max(1);
+        let w = span as f64 / bins as f64;
+        let mut busy = vec![0.0f64; bins];
+        for s in &self.spans {
+            let (a, b) = (s.start_ns as f64, s.end_ns as f64);
+            let first = ((a / w) as usize).min(bins - 1);
+            let last = ((b / w) as usize).min(bins - 1);
+            for (bin, slot) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = bin as f64 * w;
+                let hi = lo + w;
+                let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                *slot += overlap;
+            }
+        }
+        busy.iter()
+            .map(|&t| (t / (w * self.nworkers.max(1) as f64)).min(1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(task: usize, worker: usize, a: u64, b: u64) -> TaskSpan {
+        TaskSpan {
+            task,
+            worker,
+            start_ns: a,
+            end_ns: b,
+        }
+    }
+
+    #[test]
+    fn makespan_and_busy() {
+        let t = ExecutionTrace::new(vec![span(0, 0, 0, 10), span(1, 1, 5, 20)], 2);
+        assert_eq!(t.makespan_ns(), 20);
+        assert_eq!(t.busy_ns(), 25);
+        assert!((t.occupancy() - 25.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::new(vec![], 4);
+        assert_eq!(t.makespan_ns(), 0);
+        assert_eq!(t.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_series_full_when_saturated() {
+        // both workers busy the whole time
+        let t = ExecutionTrace::new(vec![span(0, 0, 0, 100), span(1, 1, 0, 100)], 2);
+        let s = t.occupancy_series(4);
+        assert_eq!(s.len(), 4);
+        for v in s {
+            assert!((v - 1.0).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn occupancy_series_tail_idle() {
+        // one worker; busy the first half, then only a sliver at the end
+        let t = ExecutionTrace::new(vec![span(0, 0, 0, 50), span(1, 0, 99, 100)], 1);
+        let s = t.occupancy_series(2);
+        assert!((s[0] - 1.0).abs() < 0.03, "{s:?}");
+        assert!(s[1] < 0.05, "{s:?}");
+    }
+}

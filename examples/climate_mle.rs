@@ -1,0 +1,64 @@
+//! Full geostatistical modeling pipeline on a synthetic "near-surface
+//! temperature" field: generate a 2D Matérn dataset, then recover its
+//! parameters by maximum likelihood through the adaptive mixed-precision
+//! Cholesky at several accuracy levels — the paper's end-to-end application
+//! (§VII-B) in miniature.
+//!
+//! Run: `cargo run --release --example climate_mle [-- --n=400 --nb=64]`
+
+use mixedp::prelude::*;
+use mixedp::geostats::loglik::{ExactBackend, LoglikBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |key: &str, default: usize| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(&format!("--{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = get("n", 400);
+    let nb = get("nb", 64);
+
+    // The "climate field": smooth, medium-range correlated Matérn surface.
+    let theta_true = [0.9, 0.12, 1.0];
+    let model = Matern2d;
+    let mut rng = StdRng::seed_from_u64(7);
+    let locs = gen_locations_2d(n, &mut rng);
+    println!("generating synthetic temperature field at {n} stations...");
+    let z = generate_field(&model, &locs, &theta_true, &mut rng);
+
+    let mut cfg = MleConfig::paper_defaults(3);
+    cfg.optimizer.max_evals = 400;
+
+    println!(
+        "true parameters: variance {:.2}, range {:.2}, smoothness {:.2}\n",
+        theta_true[0], theta_true[1], theta_true[2]
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>7}",
+        "backend", "variance", "range", "smooth", "loglik", "evals"
+    );
+
+    let backends: Vec<Box<dyn LoglikBackend>> = vec![
+        Box::new(ExactBackend),
+        Box::new(MpBackend::new(1e-9, nb, 2)),
+        Box::new(MpBackend::new(1e-4, nb, 2)),
+    ];
+    for be in &backends {
+        let r = estimate(&model, &locs, &z, &cfg, be.as_ref());
+        println!(
+            "{:<10} {:>10.4} {:>10.4} {:>10.4} {:>12.3} {:>7}",
+            be.label(),
+            r.theta_hat[0],
+            r.theta_hat[1],
+            r.theta_hat[2],
+            r.loglik,
+            r.evals
+        );
+    }
+    println!("\nexpected (paper Fig 5): 1e-9 estimates match 'exact'; 1e-4 drifts for");
+    println!("the Matérn model — it needs the tighter threshold.");
+}

@@ -1,0 +1,111 @@
+//! Mixed-precision kriging: estimate parameters, factor the training
+//! covariance with the adaptive mixed-precision Cholesky, and predict the
+//! field at held-out locations — optionally with iterative refinement so
+//! the MP factor delivers FP64-quality solves.
+//!
+//! Demonstrates the full "modeling and prediction" loop (paper §III-A) plus
+//! the iterative-refinement extension (paper §II-B lineage).
+//!
+//! Run: `cargo run --release --example mp_prediction [-- --n=400]`
+
+use mixedp::core::{factorize_mp, solve_refined, MpBackend, PrecisionMap};
+use mixedp::geostats::covariance::covariance_entry;
+use mixedp::geostats::predict::{mspe, predict, predict_with_solver};
+use mixedp::kernels::spd_solve_tiled;
+use mixedp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = std::env::args()
+        .find_map(|a| a.strip_prefix("--n=").and_then(|v| v.parse().ok()))
+        .unwrap_or(400usize);
+    let nb = 64;
+    let model = Matern2d;
+    let theta_true = [1.0, 0.12, 0.8];
+
+    // synthetic field, split into train/test
+    let mut rng = StdRng::seed_from_u64(31);
+    let locs = gen_locations_2d(n, &mut rng);
+    let z = generate_field(&model, &locs, &theta_true, &mut rng);
+    let mut train = Vec::new();
+    let mut ztr = Vec::new();
+    let mut test = Vec::new();
+    let mut zte = Vec::new();
+    for (i, (l, v)) in locs.iter().zip(&z).enumerate() {
+        if i % 10 == 0 {
+            test.push(*l);
+            zte.push(*v);
+        } else {
+            train.push(*l);
+            ztr.push(*v);
+        }
+    }
+    println!("{} training sites, {} prediction sites", train.len(), test.len());
+
+    // estimate θ̂ through the mixed-precision backend
+    let mut cfg = MleConfig::paper_defaults(3);
+    cfg.optimizer.max_evals = 300;
+    let backend = MpBackend::new(1e-9, nb, 2);
+    let fit = estimate(&model, &train, &ztr, &cfg, &backend);
+    println!(
+        "estimated θ̂ = [{:.3}, {:.3}, {:.3}] (true {:?})",
+        fit.theta_hat[0], fit.theta_hat[1], fit.theta_hat[2], theta_true
+    );
+    let theta = &fit.theta_hat;
+
+    // exact kriging baseline
+    let exact = predict(&model, &train, &ztr, &test, theta).unwrap();
+    println!("\nexact FP64 kriging      MSPE {:.4}", mspe(&exact, &zte));
+
+    // mixed-precision kriging: factor Σ̃ once under a loose map
+    let ntr = train.len();
+    let sigma = SymmTileMatrix::from_fn(
+        ntr,
+        nb,
+        |i, j| covariance_entry(&model, &train, i, j, theta),
+        |_, _| StoragePrecision::F64,
+    );
+    let pmap = PrecisionMap::from_norms(&tile_fro_norms(&sigma), 1e-6, &Precision::ADAPTIVE_SET);
+    let mut l_mp = sigma.clone();
+    factorize_mp(&mut l_mp, &pmap, 2).expect("SPD");
+    let pct: Vec<String> = pmap
+        .percentages()
+        .iter()
+        .filter(|(_, f)| *f > 0.0)
+        .map(|(p, f)| format!("{} {:.0}%", p.label(), f))
+        .collect();
+    println!("MP factor tile mix: {}", pct.join(", "));
+
+    // (a) raw MP solves
+    let raw = predict_with_solver(&model, &train, &ztr, &test, theta, |b| {
+        spd_solve_tiled(&l_mp, b)
+    })
+    .unwrap();
+    println!("MP kriging (raw solves) MSPE {:.4}", mspe(&raw, &zte));
+
+    // (b) MP solves + iterative refinement to FP64 residuals (matrix-free
+    // residuals through the tiled original)
+    let refined = predict_with_solver(&model, &train, &ztr, &test, theta, |b| {
+        solve_refined(&l_mp, |v| sigma.matvec(v), b, 1e-12, 30).x
+    })
+    .unwrap();
+    println!("MP kriging + refinement MSPE {:.4}", mspe(&refined, &zte));
+
+    let d_raw = exact
+        .mean
+        .iter()
+        .zip(&raw.mean)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let d_ref = exact
+        .mean
+        .iter()
+        .zip(&refined.mean)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "\nmax |μ* − μ*_exact|: raw {d_raw:.2e}, refined {d_ref:.2e} — refinement \
+         recovers FP64 predictions from the cheap factor."
+    );
+}
