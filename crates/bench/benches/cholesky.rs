@@ -30,7 +30,10 @@ fn bench_factorize(c: &mut Criterion) {
     for (label, pmap) in [
         ("fp64", uniform_map(a0.nt(), Precision::Fp64)),
         ("fp32", uniform_map(a0.nt(), Precision::Fp32)),
-        ("adaptive_1e-6", PrecisionMap::from_norms(&norms, 1e-6, &Precision::ADAPTIVE_SET)),
+        (
+            "adaptive_1e-6",
+            PrecisionMap::from_norms(&norms, 1e-6, &Precision::ADAPTIVE_SET),
+        ),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &pmap, |b, m| {
             b.iter(|| {
@@ -71,7 +74,16 @@ fn bench_sim_strategy(c: &mut Criterion) {
     let m = uniform_map(32, Precision::Fp16);
     for (label, s) in [("ttc", Strategy::Ttc), ("auto_stc", Strategy::Auto)] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, &s| {
-            b.iter(|| simulate_cholesky(&m, &cluster, CholeskySimOptions { nb: 2048, strategy: s }))
+            b.iter(|| {
+                simulate_cholesky(
+                    &m,
+                    &cluster,
+                    CholeskySimOptions {
+                        nb: 2048,
+                        strategy: s,
+                    },
+                )
+            })
         });
     }
     g.finish();
@@ -86,7 +98,16 @@ fn bench_sim_throughput(c: &mut Criterion) {
     for nt in [40usize, 80] {
         let m = uniform_map(nt, Precision::Fp64);
         g.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |b, _| {
-            b.iter(|| simulate_cholesky(&m, &cluster, CholeskySimOptions { nb: 2048, strategy: Strategy::Auto }))
+            b.iter(|| {
+                simulate_cholesky(
+                    &m,
+                    &cluster,
+                    CholeskySimOptions {
+                        nb: 2048,
+                        strategy: Strategy::Auto,
+                    },
+                )
+            })
         });
     }
     g.finish();
@@ -100,7 +121,10 @@ fn bench_priority_policy(c: &mut Criterion) {
     use mixedp_gpusim::{SimConfig, Simulator};
     let cluster = ClusterSpec::summit(1);
     let m = uniform_map(40, Precision::Fp64);
-    let opts = CholeskySimOptions { nb: 2048, strategy: Strategy::Auto };
+    let opts = CholeskySimOptions {
+        nb: 2048,
+        strategy: Strategy::Auto,
+    };
     let (tasks, initial) = build_sim_tasks(&m, &cluster, opts);
     let mut fifo = tasks.clone();
     for t in &mut fifo {

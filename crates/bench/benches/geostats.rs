@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mixedp_geostats::covariance::covariance_dense;
-use mixedp_geostats::{
-    bessel_k, gen_locations_2d, generate_field, loglik_exact, Matern2d, SqExp,
-};
+use mixedp_geostats::{bessel_k, gen_locations_2d, generate_field, loglik_exact, Matern2d, SqExp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -4,8 +4,22 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mixedp_fp::{Precision, StoragePrecision};
-use mixedp_kernels::{gemm_tile, potrf_tile, syrk_tile, trsm_tile};
+use mixedp_kernels::{
+    blas, gemm_tile, potrf_tile, reference_gemm_nt_f64, reference_syrk_ln_f64, syrk_tile, trsm_tile,
+};
 use mixedp_tile::Tile;
+
+fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect()
+}
 
 fn rand_tile(m: usize, k: usize, seed: u64) -> Tile {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -95,5 +109,56 @@ fn bench_panel_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm_precisions, bench_panel_kernels);
+/// Cache-blocked vs naive-reference kernels at the tentpole's gating shape
+/// (256×256×256): the blocked GEMM must sustain ≥2× the reference.
+fn bench_blocked_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocked_vs_reference");
+    g.sample_size(10);
+    let n = 256;
+    let a = rand_vec(n * n, 1);
+    let b = rand_vec(n * n, 2);
+    let c0 = rand_vec(n * n, 3);
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("gemm_nt_f64_blocked", |bch| {
+        let mut cm = c0.clone();
+        bch.iter(|| {
+            cm.copy_from_slice(&c0);
+            blas::gemm_nt_f64_p(&a, &b, &mut cm, n, n, n, false);
+            cm[0]
+        })
+    });
+    g.bench_function("gemm_nt_f64_reference", |bch| {
+        let mut cm = c0.clone();
+        bch.iter(|| {
+            cm.copy_from_slice(&c0);
+            reference_gemm_nt_f64(&a, &b, &mut cm, n, n, n);
+            cm[0]
+        })
+    });
+    g.throughput(Throughput::Elements((n * (n + 1) * n) as u64));
+    g.bench_function("syrk_ln_f64_blocked", |bch| {
+        let mut cm = c0.clone();
+        bch.iter(|| {
+            cm.copy_from_slice(&c0);
+            blas::syrk_ln_f64_p(&a, n, n, &mut cm, false);
+            cm[0]
+        })
+    });
+    g.bench_function("syrk_ln_f64_reference", |bch| {
+        let mut cm = c0.clone();
+        bch.iter(|| {
+            cm.copy_from_slice(&c0);
+            reference_syrk_ln_f64(&a, n, n, &mut cm);
+            cm[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_precisions,
+    bench_panel_kernels,
+    bench_blocked_vs_reference
+);
 criterion_main!(benches);

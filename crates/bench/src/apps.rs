@@ -4,7 +4,9 @@
 use mixedp_core::PrecisionMap;
 use mixedp_fp::Precision;
 use mixedp_geostats::covariance::covariance_entry;
-use mixedp_geostats::{gen_locations_2d, gen_locations_3d, CovarianceModel, Location, Matern2d, SqExp};
+use mixedp_geostats::{
+    gen_locations_2d, gen_locations_3d, CovarianceModel, Location, Matern2d, SqExp,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

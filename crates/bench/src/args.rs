@@ -15,6 +15,7 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(it: impl IntoIterator<Item = String>) -> Self {
         let mut map = HashMap::new();
         for a in it {
@@ -31,14 +32,20 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a float, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a float, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -47,7 +54,10 @@ impl Args {
     }
 
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 

@@ -1,0 +1,168 @@
+//! Kernel performance snapshot: emits `BENCH_kernels.json` so successive
+//! changes can track the perf trajectory of the dense data path.
+//!
+//! Measures, on raw row-major buffers:
+//!   * cache-blocked `gemm_nt_f64` vs the naive `reference_gemm_nt_f64`
+//!     (GFLOP/s each, plus the speedup ratio),
+//!   * cache-blocked `syrk_ln_f64` vs its reference,
+//!   * blocked `potrf_blocked_f64`,
+//!
+//! and, on the tile path, the steady-state workspace reallocation count per
+//! task (the allocation-free invariant: must be 0 after warmup).
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin bench_kernels`
+//! Options: `--n=256 --reps=7 --out=BENCH_kernels.json`
+
+use std::time::Instant;
+
+use mixedp_bench::Args;
+use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_kernels::{
+    blas, gemm_tile_ws, potrf_blocked_f64, reference_gemm_nt_f64, reference_potrf_f64,
+    reference_syrk_ln_f64, Workspace,
+};
+use mixedp_tile::Tile;
+
+fn pseudo(len: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Median wall-clock seconds of `reps` runs of `f` (one untimed warmup).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    gflops: f64,
+    secs: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 256);
+    let reps = args.get_usize("reps", 7);
+    let out = args.get_str("out", "BENCH_kernels.json");
+
+    let a = pseudo(n * n, 1);
+    let b = pseudo(n * n, 2);
+    let c0 = pseudo(n * n, 3);
+    let mut c = c0.clone();
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut push = |name, flops: f64, secs: f64| {
+        let gflops = flops / secs / 1e9;
+        println!("{name:<24} {secs:>10.6} s   {gflops:>8.2} GFLOP/s");
+        entries.push(Entry { name, gflops, secs });
+    };
+
+    let gemm_flops = 2.0 * (n * n * n) as f64;
+    let t = median_secs(reps, || {
+        c.copy_from_slice(&c0);
+        blas::gemm_nt_f64_p(&a, &b, &mut c, n, n, n, false);
+    });
+    push("gemm_nt_f64_blocked", gemm_flops, t);
+    let t_blk = t;
+
+    let t = median_secs(reps, || {
+        c.copy_from_slice(&c0);
+        reference_gemm_nt_f64(&a, &b, &mut c, n, n, n);
+    });
+    push("gemm_nt_f64_reference", gemm_flops, t);
+    let gemm_speedup = t / t_blk;
+
+    let syrk_flops = (n * (n + 1) * n) as f64;
+    let t = median_secs(reps, || {
+        c.copy_from_slice(&c0);
+        blas::syrk_ln_f64_p(&a, n, n, &mut c, false);
+    });
+    push("syrk_ln_f64_blocked", syrk_flops, t);
+    let t_syrk = t;
+    let t = median_secs(reps, || {
+        c.copy_from_slice(&c0);
+        reference_syrk_ln_f64(&a, n, n, &mut c);
+    });
+    push("syrk_ln_f64_reference", syrk_flops, t);
+    let syrk_speedup = t / t_syrk;
+
+    // SPD matrix for the factorizations.
+    let mut spd = pseudo(n * n, 4);
+    for i in 0..n {
+        for j in 0..i {
+            let v = 0.5 * (spd[i * n + j] + spd[j * n + i]);
+            spd[i * n + j] = v;
+            spd[j * n + i] = v;
+        }
+        spd[i * n + i] += n as f64;
+    }
+    let potrf_flops = (n * n * n) as f64 / 3.0;
+    let mut w = spd.clone();
+    let t = median_secs(reps, || {
+        w.copy_from_slice(&spd);
+        potrf_blocked_f64(&mut w, n, 64).unwrap();
+    });
+    push("potrf_f64_blocked", potrf_flops, t);
+    let t = median_secs(reps, || {
+        w.copy_from_slice(&spd);
+        reference_potrf_f64(&mut w, n).unwrap();
+    });
+    push("potrf_f64_reference", potrf_flops, t);
+
+    // Allocation-free steady state: workspace grow events per task after the
+    // first (warmup) task of each shape, on the tile GEMM path.
+    let ta = Tile::from_f64(n, n, &a, StoragePrecision::F64);
+    let tb = Tile::from_f64(n, n, &b, StoragePrecision::F64);
+    let mut ws = Workspace::new();
+    let mut tc = Tile::from_f64(n, n, &c0, StoragePrecision::F64);
+    gemm_tile_ws(Precision::Fp32, &ta, &tb, &mut tc, &mut ws, false);
+    let warm = ws.grow_events();
+    let tasks = 32u64;
+    for _ in 0..tasks {
+        gemm_tile_ws(Precision::Fp32, &ta, &tb, &mut tc, &mut ws, false);
+    }
+    let allocs_per_task = (ws.grow_events() - warm) as f64 / tasks as f64;
+    println!("steady-state workspace reallocations per task: {allocs_per_task}");
+    println!("gemm blocked-vs-reference speedup: {gemm_speedup:.2}x");
+    println!("syrk blocked-vs-reference speedup: {syrk_speedup:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"n\": {n},\n  \"reps\": {reps},\n"));
+    json.push_str("  \"kernels\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"gflops\": {:.4}, \"seconds\": {:.6}}}{}\n",
+            e.name, e.gflops, e.secs, comma
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"gemm_speedup_vs_reference\": {gemm_speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"syrk_speedup_vs_reference\": {syrk_speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"workspace_reallocs_per_task\": {allocs_per_task}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("wrote {out}");
+}

@@ -33,13 +33,17 @@ fn main() {
         let a = Tile::from_f64(
             n,
             n,
-            &(0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(),
+            &(0..n * n)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
             StoragePrecision::F64,
         );
         let b = Tile::from_f64(
             n,
             n,
-            &(0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(),
+            &(0..n * n)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect::<Vec<_>>(),
             StoragePrecision::F64,
         );
         let mut c_ref = Tile::zeros(n, n, StoragePrecision::F64);
@@ -63,7 +67,10 @@ fn main() {
     // Modeled H100 rate: FP8 tensor ≈ 2× the FP16 peak (1513 Tflop/s PCIe).
     let h100 = GpuGeneration::H100.spec();
     let t16 = kernel_time_s(&h100, SimKernel::Gemm, Precision::Fp16, 8192);
-    println!("\nmodeled H100 8192³ GEMM: FP16 {:.1} Tflop/s; an FP8 mode at 2× the", 2.0 * 8192f64.powi(3) / t16 / 1e12);
+    println!(
+        "\nmodeled H100 8192³ GEMM: FP16 {:.1} Tflop/s; an FP8 mode at 2× the",
+        2.0 * 8192f64.powi(3) / t16 / 1e12
+    );
     println!("tensor rate would halve that time again while the adaptive rule keeps");
     println!("it off the accuracy-critical tiles — the framework extends unchanged:");
     println!("FP8 tiles store FP32 (TRSM limit) and ship 1-byte payloads under STC.");

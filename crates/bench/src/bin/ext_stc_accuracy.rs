@@ -28,7 +28,11 @@ fn main() {
     let nb = args.get_usize("nb", 96);
     let grid = Grid2d::new(2, 2);
 
-    println!("Numerical cost of wire policies (distributed mode, {}x{} ranks, n={n}, nb={nb})\n", grid.p(), grid.q());
+    println!(
+        "Numerical cost of wire policies (distributed mode, {}x{} ranks, n={n}, nb={nb})\n",
+        grid.p(),
+        grid.q()
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>14} {:>14} {:>12}",
         "app", "policy", "wire MB", "vs TTC bytes", "‖A-LLᵀ‖/‖A‖", "msgs"
@@ -55,11 +59,7 @@ fn main() {
         // exponential is too ill-conditioned at this scale for 1e-4 (see
         // EXPERIMENTS.md on Fig 5) and gets a tighter one.
         let u_req = 1e-4;
-        let pmap = PrecisionMap::from_norms(
-            &tile_fro_norms(&a0),
-            u_req,
-            &Precision::ADAPTIVE_SET,
-        );
+        let pmap = PrecisionMap::from_norms(&tile_fro_norms(&a0), u_req, &Precision::ADAPTIVE_SET);
         for policy in [WirePolicy::Ttc, WirePolicy::Auto, WirePolicy::AlwaysLowest] {
             let mut a = a0.clone();
             match factorize_mp_distributed(&mut a, &pmap, &grid, policy) {

@@ -14,7 +14,10 @@ fn main() {
     let max_nt = args.get_usize("max-nt", 60);
     let nb = args.get_usize("nb", 2048);
 
-    for (name, node) in [("Summit node (6x V100)", NodeSpec::summit()), ("Guyot (8x A100)", NodeSpec::guyot())] {
+    for (name, node) in [
+        ("Summit node (6x V100)", NodeSpec::summit()),
+        ("Guyot (8x A100)", NodeSpec::guyot()),
+    ] {
         let cluster = ClusterSpec::new(node, 1);
         let gpus = node.gpus;
         let peak64 = cluster.peak_tflops(Precision::Fp64);
@@ -49,10 +52,31 @@ fn main() {
         }
         // headline ratios at the largest size
         let o = |s| CholeskySimOptions { nb, strategy: s };
-        let t64 = simulate_cholesky(&uniform_map(max_nt, Precision::Fp64), &cluster, o(Strategy::Auto)).makespan_s;
-        let t16 = simulate_cholesky(&uniform_map(max_nt, Precision::Fp16), &cluster, o(Strategy::Auto)).makespan_s;
-        let ttc16 = simulate_cholesky(&uniform_map(max_nt, Precision::Fp16), &cluster, o(Strategy::Ttc)).makespan_s;
-        let eff = simulate_cholesky(&uniform_map(max_nt, Precision::Fp64), &cluster, o(Strategy::Auto)).tflops() / peak64;
+        let t64 = simulate_cholesky(
+            &uniform_map(max_nt, Precision::Fp64),
+            &cluster,
+            o(Strategy::Auto),
+        )
+        .makespan_s;
+        let t16 = simulate_cholesky(
+            &uniform_map(max_nt, Precision::Fp16),
+            &cluster,
+            o(Strategy::Auto),
+        )
+        .makespan_s;
+        let ttc16 = simulate_cholesky(
+            &uniform_map(max_nt, Precision::Fp16),
+            &cluster,
+            o(Strategy::Ttc),
+        )
+        .makespan_s;
+        let eff = simulate_cholesky(
+            &uniform_map(max_nt, Precision::Fp64),
+            &cluster,
+            o(Strategy::Auto),
+        )
+        .tflops()
+            / peak64;
         println!(
             "\nat n={}: FP64 efficiency {:.0}% | TTC→STC speedup {:.2}x | FP64→FP64/FP16 {:.1}x ({gpus} GPUs)\n",
             max_nt * nb,

@@ -15,7 +15,10 @@ use mixedp_gpusim::ClusterSpec;
 
 fn weak(nb: usize, full: bool) {
     println!("--- Fig 12a: weak scalability (Summit, STC, FP64) ---");
-    println!("{:>6} {:>6} {:>9} {:>11} {:>11} {:>8}", "nodes", "GPUs", "matrix", "Tflop/s", "peak", "eff");
+    println!(
+        "{:>6} {:>6} {:>9} {:>11} {:>11} {:>8}",
+        "nodes", "GPUs", "matrix", "Tflop/s", "peak", "eff"
+    );
     // per-GPU tile budget held constant
     let nt_per_sqrt_gpu = if full { 88 } else { 44 }; // NT at 384 GPUs
     for nodes in [1usize, 4, 16, 64] {
@@ -26,7 +29,10 @@ fn weak(nb: usize, full: bool) {
         let rep = simulate_cholesky(
             &uniform_map(nt, Precision::Fp64),
             &cluster,
-            CholeskySimOptions { nb, strategy: Strategy::Auto },
+            CholeskySimOptions {
+                nb,
+                strategy: Strategy::Auto,
+            },
         );
         let peak = cluster.peak_tflops(Precision::Fp64);
         println!(
@@ -42,15 +48,24 @@ fn weak(nb: usize, full: bool) {
 
 fn strong(nb: usize, full: bool) {
     let nt = if full { 390 } else { 120 }; // paper: 798,720 / 2048 = 390
-    println!("--- Fig 12b: strong scalability (matrix {} fixed, FP64, STC) ---", nt * nb);
-    println!("{:>6} {:>6} {:>11} {:>9}", "nodes", "GPUs", "Tflop/s", "speedup");
+    println!(
+        "--- Fig 12b: strong scalability (matrix {} fixed, FP64, STC) ---",
+        nt * nb
+    );
+    println!(
+        "{:>6} {:>6} {:>11} {:>9}",
+        "nodes", "GPUs", "Tflop/s", "speedup"
+    );
     let mut base = 0.0;
     for nodes in [4usize, 16, 64] {
         let cluster = ClusterSpec::summit(nodes);
         let rep = simulate_cholesky(
             &uniform_map(nt, Precision::Fp64),
             &cluster,
-            CholeskySimOptions { nb, strategy: Strategy::Auto },
+            CholeskySimOptions {
+                nb,
+                strategy: Strategy::Auto,
+            },
         );
         if base == 0.0 {
             base = rep.tflops();
@@ -77,10 +92,17 @@ fn mp_effect(nb: usize, full: bool) {
         "{:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
         "matrix", "FP64", "FP32", "2D-sqexp", "2D-Matérn", "3D-sqexp"
     );
-    let nts: &[usize] = if full { &[130, 260, 390] } else { &[60, 90, 120] };
+    let nts: &[usize] = if full {
+        &[130, 260, 390]
+    } else {
+        &[60, 90, 120]
+    };
     let mut last: Vec<f64> = Vec::new();
     for &nt in nts {
-        let o = CholeskySimOptions { nb, strategy: Strategy::Auto };
+        let o = CholeskySimOptions {
+            nb,
+            strategy: Strategy::Auto,
+        };
         let f64t = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cluster, o).tflops();
         let f32t = simulate_cholesky(&uniform_map(nt, Precision::Fp32), &cluster, o).tflops();
         let mut row = vec![f64t, f32t];
@@ -90,13 +112,24 @@ fn mp_effect(nb: usize, full: bool) {
         }
         println!(
             "{:>9} {:>9.0} {:>9.0} {:>10.0} {:>10.0} {:>10.0}",
-            nt * nb, row[0], row[1], row[2], row[3], row[4]
+            nt * nb,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
         );
         last = row;
     }
     if !last.is_empty() {
-        println!("\nat the largest size: FP64 efficiency {:.1}% of peak; speedups vs FP64:", 100.0 * last[0] / peak64);
-        for (i, lbl) in ["FP32", "2D-sqexp", "2D-Matérn", "3D-sqexp"].iter().enumerate() {
+        println!(
+            "\nat the largest size: FP64 efficiency {:.1}% of peak; speedups vs FP64:",
+            100.0 * last[0] / peak64
+        );
+        for (i, lbl) in ["FP32", "2D-sqexp", "2D-Matérn", "3D-sqexp"]
+            .iter()
+            .enumerate()
+        {
             println!("  {lbl:<10} {:.2}x", last[i + 1] / last[0]);
         }
     }

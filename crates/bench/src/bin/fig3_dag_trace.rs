@@ -53,7 +53,11 @@ fn main() {
         );
     }
 
-    println!("\ncritical path: {} tasks (of {} total)", dag.graph.critical_path_len(), dag.graph.len());
+    println!(
+        "\ncritical path: {} tasks (of {} total)",
+        dag.graph.critical_path_len(),
+        dag.graph.len()
+    );
 
     // Asynchronous execution demo: tasks of iteration k+1 can start before
     // iteration k has fully drained (PaRSEC's asynchrony, §III-B).

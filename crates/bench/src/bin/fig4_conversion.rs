@@ -51,13 +51,11 @@ fn main() {
     // in all experiments" — time it at Summit scale (matrix 798,720 / tile
     // 2048 → NT = 390; we default to NT = 400).
     println!("\nAlgorithm 2 cost at NT={time_nt} (Summit-scale):");
-    let big = PrecisionMap::from_fn(time_nt, |i, j| {
-        match (i + 3 * j) % 4 {
-            0 => Precision::Fp64,
-            1 => Precision::Fp32,
-            2 => Precision::Fp16x32,
-            _ => Precision::Fp16,
-        }
+    let big = PrecisionMap::from_fn(time_nt, |i, j| match (i + 3 * j) % 4 {
+        0 => Precision::Fp64,
+        1 => Precision::Fp32,
+        2 => Precision::Fp16x32,
+        _ => Precision::Fp16,
     });
     let t0 = Instant::now();
     let seq = plan_conversions(&big);

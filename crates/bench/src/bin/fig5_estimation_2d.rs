@@ -20,6 +20,7 @@ use mixedp_geostats::{
     SqExp,
 };
 
+#[allow(clippy::too_many_arguments)]
 fn run_config(
     label: &str,
     model: &dyn CovarianceModel,
@@ -46,7 +47,7 @@ fn run_config(
         backends.push(Box::new(MpBackend::new(a, nb, 1)));
     }
     for be in &backends {
-        let r = run_monte_carlo(model, n, |n, rng| gen_locations_2d(n, rng), &cfg, be.as_ref());
+        let r = run_monte_carlo(model, n, gen_locations_2d, &cfg, be.as_ref());
         print!("  accuracy {:>8}:", be.label());
         if r.non_converged > 0 {
             print!(" [budget-limited: {}]", r.non_converged);
@@ -72,16 +73,70 @@ fn main() {
 
     let sq = SqExp::new2d();
     // rows 1-2 of Fig 5: 2D-sqexp, weak and strong correlation
-    run_config("2D-sqexp weak (β=0.03)", &sq, &[1.0, 0.03], n, reps, nb, evals, &[1e-9, 1e-4]);
-    run_config("2D-sqexp strong (β=0.3)", &sq, &[1.0, 0.3], n, reps, nb, evals, &[1e-9, 1e-4]);
+    run_config(
+        "2D-sqexp weak (β=0.03)",
+        &sq,
+        &[1.0, 0.03],
+        n,
+        reps,
+        nb,
+        evals,
+        &[1e-9, 1e-4],
+    );
+    run_config(
+        "2D-sqexp strong (β=0.3)",
+        &sq,
+        &[1.0, 0.3],
+        n,
+        reps,
+        nb,
+        evals,
+        &[1e-9, 1e-4],
+    );
 
     let mt = Matern2d;
     // rows 1-4 of Fig 5: 2D-Matérn, weak/strong × rough/smooth
-    run_config("2D-Matérn weak/rough (β=0.03, ν=0.5)", &mt, &[1.0, 0.03, 0.5], n, reps, nb, evals, &[1e-9, 1e-4]);
-    run_config("2D-Matérn weak/smooth (β=0.03, ν=1)", &mt, &[1.0, 0.03, 1.0], n, reps, nb, evals, &[1e-9, 1e-4]);
+    run_config(
+        "2D-Matérn weak/rough (β=0.03, ν=0.5)",
+        &mt,
+        &[1.0, 0.03, 0.5],
+        n,
+        reps,
+        nb,
+        evals,
+        &[1e-9, 1e-4],
+    );
+    run_config(
+        "2D-Matérn weak/smooth (β=0.03, ν=1)",
+        &mt,
+        &[1.0, 0.03, 1.0],
+        n,
+        reps,
+        nb,
+        evals,
+        &[1e-9, 1e-4],
+    );
     if !quick {
-        run_config("2D-Matérn strong/rough (β=0.3, ν=0.5)", &mt, &[1.0, 0.3, 0.5], n, reps, nb, evals, &[1e-9, 1e-4]);
-        run_config("2D-Matérn strong/smooth (β=0.3, ν=1)", &mt, &[1.0, 0.3, 1.0], n, reps, nb, evals, &[1e-9, 1e-4]);
+        run_config(
+            "2D-Matérn strong/rough (β=0.3, ν=0.5)",
+            &mt,
+            &[1.0, 0.3, 0.5],
+            n,
+            reps,
+            nb,
+            evals,
+            &[1e-9, 1e-4],
+        );
+        run_config(
+            "2D-Matérn strong/smooth (β=0.3, ν=1)",
+            &mt,
+            &[1.0, 0.3, 1.0],
+            n,
+            reps,
+            nb,
+            evals,
+            &[1e-9, 1e-4],
+        );
     }
 
     println!("paper shape: accuracy 1e-9 ≈ exact for both kernels; 1e-4 still");

@@ -7,7 +7,9 @@
 use mixedp_bench::Args;
 use mixedp_core::MpBackend;
 use mixedp_geostats::loglik::{ExactBackend, LoglikBackend};
-use mixedp_geostats::{gen_locations_3d, run_monte_carlo, CovarianceModel, MleConfig, MonteCarloConfig, SqExp};
+use mixedp_geostats::{
+    gen_locations_3d, run_monte_carlo, CovarianceModel, MleConfig, MonteCarloConfig, SqExp,
+};
 
 fn main() {
     let args = Args::parse();
@@ -36,7 +38,7 @@ fn main() {
             backends.push(Box::new(MpBackend::new(a, nb, 1)));
         }
         for be in &backends {
-            let r = run_monte_carlo(&model, n, |n, rng| gen_locations_3d(n, rng), &cfg, be.as_ref());
+            let r = run_monte_carlo(&model, n, gen_locations_3d, &cfg, be.as_ref());
             println!("  accuracy {:>8}:", be.label());
             for (p, bp) in model.param_names().iter().zip(&r.boxplots) {
                 println!("    {:<8} {}", p, bp.to_row());

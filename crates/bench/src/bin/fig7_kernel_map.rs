@@ -27,7 +27,8 @@ fn main() {
             println!("  {:<8} {f:5.1}%", p.label());
         }
         // render a small-scale version of the same application for shape
-        let small = approx_precision_map(app, n / (pmap.nt() / render_nt).max(1), nb, acc, sample, 7);
+        let small =
+            approx_precision_map(app, n / (pmap.nt() / render_nt).max(1), nb, acc, sample, 7);
         let _ = small;
         println!();
     }

@@ -69,13 +69,19 @@ fn main() {
         let fp64 = simulate_cholesky(
             &uniform_map(nt, Precision::Fp64),
             &cluster,
-            CholeskySimOptions { nb, strategy: Strategy::Auto },
+            CholeskySimOptions {
+                nb,
+                strategy: Strategy::Auto,
+            },
         )
         .tflops();
         let fp16 = simulate_cholesky(
             &uniform_map(nt, Precision::Fp16),
             &cluster,
-            CholeskySimOptions { nb, strategy: Strategy::Auto },
+            CholeskySimOptions {
+                nb,
+                strategy: Strategy::Auto,
+            },
         )
         .tflops();
         println!(

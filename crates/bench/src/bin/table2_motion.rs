@@ -30,15 +30,24 @@ fn main() {
     let rows: Vec<(String, Vec<f64>)> = vec![
         (
             "Move one tile/matrix in FP64".into(),
-            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 8) as u64) * 1e3).collect(),
+            SIZES
+                .iter()
+                .map(|&n| xfer_time_s(&v100, (n * n * 8) as u64) * 1e3)
+                .collect(),
         ),
         (
             "Move one tile/matrix in FP32".into(),
-            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 4) as u64) * 1e3).collect(),
+            SIZES
+                .iter()
+                .map(|&n| xfer_time_s(&v100, (n * n * 4) as u64) * 1e3)
+                .collect(),
         ),
         (
             "Move one tile/matrix in FP16".into(),
-            SIZES.iter().map(|&n| xfer_time_s(&v100, (n * n * 2) as u64) * 1e3).collect(),
+            SIZES
+                .iter()
+                .map(|&n| xfer_time_s(&v100, (n * n * 2) as u64) * 1e3)
+                .collect(),
         ),
         (
             "Execute GEMM in FP64".into(),
@@ -74,7 +83,10 @@ fn main() {
         }
         println!();
     }
-    println!("\n(model value, paper value in parens); worst relative deviation: {:.1}%", worst * 100.0);
+    println!(
+        "\n(model value, paper value in parens); worst relative deviation: {:.1}%",
+        worst * 100.0
+    );
     println!("takeaway (paper §VI): moving data can dwarf GEMM time at low precision —");
     let move16 = xfer_time_s(&v100, 10240u64 * 10240 * 8) * 1e3;
     let gemm16 = kernel_time_s(&v100, SimKernel::Gemm, Precision::Fp16, 10240) * 1e3;

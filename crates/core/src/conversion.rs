@@ -176,9 +176,7 @@ pub fn plan_conversions(pmap: &PrecisionMap) -> ConversionPlan {
 /// independent).
 pub fn plan_conversions_parallel(pmap: &PrecisionMap) -> ConversionPlan {
     let nt = pmap.nt();
-    let coords: Vec<(usize, usize)> = (0..nt)
-        .flat_map(|i| (0..=i).map(move |j| (i, j)))
-        .collect();
+    let coords: Vec<(usize, usize)> = (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
     let planned: Vec<(CommPrecision, bool)> = coords
         .par_iter()
         .map(|&(i, j)| plan_tile(pmap, i, j))
@@ -321,15 +319,17 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         for nt in [1, 2, 3, 8, 17] {
-            let m = PrecisionMap::from_fn(nt, |i, j| {
-                match (i * 31 + j * 17) % 4 {
-                    0 => Precision::Fp64,
-                    1 => Precision::Fp32,
-                    2 => Precision::Fp16x32,
-                    _ => Precision::Fp16,
-                }
+            let m = PrecisionMap::from_fn(nt, |i, j| match (i * 31 + j * 17) % 4 {
+                0 => Precision::Fp64,
+                1 => Precision::Fp32,
+                2 => Precision::Fp16x32,
+                _ => Precision::Fp16,
             });
-            assert_eq!(plan_conversions(&m), plan_conversions_parallel(&m), "nt={nt}");
+            assert_eq!(
+                plan_conversions(&m),
+                plan_conversions_parallel(&m),
+                "nt={nt}"
+            );
         }
     }
 

@@ -10,11 +10,15 @@
 //! estimates) carry genuine mixed-precision rounding.
 
 use crate::precision_map::PrecisionMap;
-use mixedp_kernels::{blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, trsm_tile, KernelKind};
-use mixedp_runtime::{execute_parallel, execute_serial, TaskGraph, TaskId};
+use mixedp_fp::Precision;
+use mixedp_kernels::{
+    blas::NotSpd, compute_format_index, gemm_tile_ws_cached, make_compute_buf, potrf_tile_ws,
+    syrk_tile_ws, trsm_tile_ws, ComputeBuf, KernelKind, Workspace, N_COMPUTE_FORMATS,
+};
+use mixedp_runtime::{execute_parallel_ctx, execute_serial_ctx, TaskGraph, TaskId};
 use mixedp_tile::{SymmTileMatrix, Tile};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One kernel instance of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,10 +94,7 @@ pub fn build_dag(nt: usize) -> CholeskyDag {
 
             // GEMM(m, n, k) for n in k+1..m: reads (m,k), (n,k); updates (m,n)
             for n in (k + 1)..m {
-                let mut deps = vec![
-                    trsm_of[idx(m, k)].unwrap(),
-                    trsm_of[idx(n, k)].unwrap(),
-                ];
+                let mut deps = vec![trsm_of[idx(m, k)].unwrap(), trsm_of[idx(n, k)].unwrap()];
                 if let Some(w) = last_write[idx(m, n)] {
                     deps.push(w);
                 }
@@ -115,11 +116,52 @@ pub struct FactorStats {
     /// Storage bytes of the factored matrix under the map vs full FP64.
     pub storage_bytes_mp: u64,
     pub storage_bytes_fp64: u64,
+    /// Tile → compute-format quantizations actually executed (producer-side
+    /// conversions plus any consumer-side fallbacks).
+    pub conversions_performed: u64,
+    /// GEMM operand quantizations skipped because a producer-converted
+    /// buffer (STC) was reused instead.
+    pub conversions_avoided: u64,
+    /// Payload bytes of the avoided quantizations — the data-motion saving
+    /// of STC over convert-at-every-consumer (TTC).
+    pub conversion_bytes_avoided: u64,
+}
+
+impl FactorStats {
+    /// Fraction of GEMM-operand conversions that STC eliminated:
+    /// `avoided / (avoided + performed)`. Zero when no reduced-precision
+    /// GEMMs ran.
+    pub fn stc_avoidance_ratio(&self) -> f64 {
+        let total = self.conversions_avoided + self.conversions_performed;
+        if total == 0 {
+            0.0
+        } else {
+            self.conversions_avoided as f64 / total as f64
+        }
+    }
 }
 
 /// Factor `a` in place under `pmap` using `nthreads` workers (1 = the
 /// deterministic serial scheduler). Returns stats; the matrix holds `L`
 /// tile-wise (each tile in its storage precision) on success.
+///
+/// # Data path
+///
+/// Each worker owns a [`Workspace`] (threaded through the scheduler's
+/// per-worker-context API), so kernel staging performs zero heap
+/// allocations once the buffers are warm. When `nthreads > 1` the kernels
+/// themselves run sequentially — the DAG already saturates the workers, and
+/// nested rayon parallelism inside kernels would oversubscribe the machine.
+///
+/// # Producer-side conversion caching (STC)
+///
+/// When `TRSM(m,k)` finalizes panel tile `(m,k)`, it quantizes the tile
+/// into every compute format its downstream GEMMs will need — **once** —
+/// and shares the buffers via `Arc`. Consuming GEMMs reuse them instead of
+/// re-converting per task (the paper's single-time conversion, vs.
+/// two-time conversion at every consumer). Buffers are freed as soon as the
+/// last consumer has run. Cached and locally-quantized operands go through
+/// the same rounding routine, so STC never changes a bit of the result.
 pub fn factorize_mp(
     a: &mut SymmTileMatrix,
     pmap: &PrecisionMap,
@@ -131,9 +173,9 @@ pub fn factorize_mp(
     let (mp_bytes, fp64_bytes) = pmap.storage_bytes(a.nb());
 
     // Move tiles into per-tile RwLocks for concurrent kernel execution.
-    let n = a.n();
     let nb = a.nb();
-    let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(nt * (nt + 1) / 2);
+    let ncells = nt * (nt + 1) / 2;
+    let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(ncells);
     for i in 0..nt {
         for j in 0..=i {
             cells.push(RwLock::new(a.tile(i, j).clone()));
@@ -142,42 +184,133 @@ pub fn factorize_mp(
     let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
     let failure = AtomicUsize::new(usize::MAX);
 
-    let run_task = |t: &CholeskyTask| {
+    // STC cache: per panel tile, one slot per compute format, filled by the
+    // tile's TRSM (its final writer) and read by its GEMM consumers.
+    type Slots = [Option<Arc<ComputeBuf>>; N_COMPUTE_FORMATS];
+    let caches: Vec<Mutex<Slots>> = (0..ncells).map(|_| Mutex::new(Slots::default())).collect();
+    // GEMM reads remaining per panel tile (m,k): A-operand of GEMM(m,n,k)
+    // for n in k+1..m, B-operand of GEMM(m',m,k) for m' in m+1..nt.
+    let readers: Vec<AtomicUsize> = (0..nt)
+        .flat_map(|i| (0..=i).map(move |j| (i, j)))
+        .map(|(i, j)| AtomicUsize::new(if i > j { nt - j - 2 } else { 0 }))
+        .collect();
+    let conv_performed = AtomicU64::new(0);
+    let conv_avoided = AtomicU64::new(0);
+    let conv_bytes_avoided = AtomicU64::new(0);
+
+    // With several DAG workers the kernels run sequentially (no nested
+    // rayon); the serial scheduler lets kernels use internal parallelism.
+    let kernel_par = nthreads <= 1;
+
+    let release_reader = |ti: usize| {
+        if readers[ti].fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last GEMM consumer done: free the cached compute buffers.
+            *caches[ti].lock().unwrap() = Slots::default();
+        }
+    };
+
+    let run_task = |ws: &mut Workspace, t: &CholeskyTask| {
         if failure.load(Ordering::Relaxed) != usize::MAX {
             return; // SPD failure observed: drain remaining tasks as no-ops
         }
         match *t {
             CholeskyTask::Potrf { k } => {
-                let mut c = cells[idx(k, k)].write();
-                if potrf_tile(&mut c).is_err() {
+                let mut c = cells[idx(k, k)].write().unwrap();
+                if potrf_tile_ws(&mut c, ws, kernel_par).is_err() {
                     failure.store(k, Ordering::Relaxed);
                 }
             }
             CholeskyTask::Trsm { m, k } => {
-                let l = cells[idx(k, k)].read();
-                let mut b = cells[idx(m, k)].write();
-                trsm_tile(pmap.kernel(m, k), &l, &mut b);
+                let ti = idx(m, k);
+                {
+                    let l = cells[idx(k, k)].read().unwrap();
+                    let mut b = cells[ti].write().unwrap();
+                    trsm_tile_ws(pmap.kernel(m, k), &l, &mut b, ws, kernel_par);
+                }
+                // STC: tile (m,k) is now final. Quantize it once into each
+                // compute format a downstream GEMM will read it in. No GEMM
+                // consumer can run before this task completes, so filling
+                // the cache here is race-free.
+                if readers[ti].load(Ordering::Acquire) > 0 {
+                    let mut needed: [Option<Precision>; N_COMPUTE_FORMATS] =
+                        [None; N_COMPUTE_FORMATS];
+                    for nn in (k + 1)..m {
+                        let p = pmap.kernel(m, nn);
+                        if let Some(s) = compute_format_index(p) {
+                            needed[s] = Some(p);
+                        }
+                    }
+                    for mm in (m + 1)..nt {
+                        let p = pmap.kernel(mm, m);
+                        if let Some(s) = compute_format_index(p) {
+                            needed[s] = Some(p);
+                        }
+                    }
+                    if needed.iter().any(|p| p.is_some()) {
+                        let b = cells[ti].read().unwrap();
+                        let mut slots = caches[ti].lock().unwrap();
+                        for (s, p) in needed.iter().enumerate() {
+                            if let Some(p) = p {
+                                slots[s] = Some(Arc::new(make_compute_buf(*p, &b)));
+                                conv_performed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
             }
             CholeskyTask::Syrk { m, k } => {
-                let a_in = cells[idx(m, k)].read();
-                let mut c = cells[idx(m, m)].write();
-                syrk_tile(&a_in, &mut c);
+                let a_in = cells[idx(m, k)].read().unwrap();
+                let mut c = cells[idx(m, m)].write().unwrap();
+                syrk_tile_ws(&a_in, &mut c, ws, kernel_par);
             }
             CholeskyTask::Gemm { m, n, k } => {
-                let ai = cells[idx(m, k)].read();
-                let bi = cells[idx(n, k)].read();
-                let mut c = cells[idx(m, n)].write();
-                gemm_tile(pmap.kernel(m, n), &ai, &bi, &mut c);
+                let p = pmap.kernel(m, n);
+                let (ta, tb) = (idx(m, k), idx(n, k));
+                let (abuf, bbuf) = match compute_format_index(p) {
+                    Some(s) => (
+                        caches[ta].lock().unwrap()[s].clone(),
+                        caches[tb].lock().unwrap()[s].clone(),
+                    ),
+                    None => (None, None),
+                };
+                {
+                    let ai = cells[ta].read().unwrap();
+                    let bi = cells[tb].read().unwrap();
+                    let mut c = cells[idx(m, n)].write().unwrap();
+                    let local = gemm_tile_ws_cached(
+                        p,
+                        &ai,
+                        abuf.as_deref(),
+                        &bi,
+                        bbuf.as_deref(),
+                        &mut c,
+                        ws,
+                        kernel_par,
+                    );
+                    conv_performed.fetch_add(local as u64, Ordering::Relaxed);
+                    for buf in [&abuf, &bbuf].into_iter().flatten() {
+                        conv_avoided.fetch_add(1, Ordering::Relaxed);
+                        conv_bytes_avoided.fetch_add(buf.bytes() as u64, Ordering::Relaxed);
+                    }
+                }
+                release_reader(ta);
+                release_reader(tb);
             }
         }
     };
 
     let t0 = std::time::Instant::now();
     if nthreads <= 1 {
-        execute_serial(&dag.graph, |id| run_task(&dag.tasks[id]));
+        let mut ws = Workspace::new();
+        execute_serial_ctx(&dag.graph, &mut ws, |ws, id| run_task(ws, &dag.tasks[id]));
     } else {
-        execute_parallel(&dag.graph, nthreads, |id| run_task(&dag.tasks[id]))
-            .expect("worker panicked during factorization");
+        execute_parallel_ctx(
+            &dag.graph,
+            nthreads,
+            |_wid| Workspace::new(),
+            |ws, id| run_task(ws, &dag.tasks[id]),
+        )
+        .expect("worker panicked during factorization");
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
@@ -193,11 +326,10 @@ pub fn factorize_mp(
     let mut cells_iter = cells.into_iter();
     for i in 0..nt {
         for j in 0..=i {
-            let tile = cells_iter.next().unwrap().into_inner();
+            let tile = cells_iter.next().unwrap().into_inner().unwrap();
             *a.tile_mut(i, j) = tile.converted_to(pmap.storage(i, j));
         }
     }
-    let _ = n;
 
     let mut counts = [0usize; 4];
     for t in &dag.tasks {
@@ -214,6 +346,9 @@ pub fn factorize_mp(
         wall_s,
         storage_bytes_mp: mp_bytes,
         storage_bytes_fp64: fp64_bytes,
+        conversions_performed: conv_performed.into_inner(),
+        conversions_avoided: conv_avoided.into_inner(),
+        conversion_bytes_avoided: conv_bytes_avoided.into_inner(),
     })
 }
 
@@ -243,7 +378,7 @@ mod tests {
             let dag = build_dag(nt);
             // POTRF: nt; TRSM: nt(nt-1)/2; SYRK: nt(nt-1)/2;
             // GEMM: sum over k of (nt-k-1 choose 2) = nt(nt-1)(nt-2)/6
-            let expect = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6;
+            let expect = nt + nt * (nt - 1) + nt * (nt - 1) * nt.saturating_sub(2) / 6;
             assert_eq!(dag.tasks.len(), expect, "nt={nt}");
             assert_eq!(dag.graph.len(), expect);
         }
@@ -344,5 +479,74 @@ mod tests {
         let mut a = spd_matrix(64, 16);
         let stats = factorize_mp(&mut a, &uniform_map(4, Precision::Fp16), 1).unwrap();
         assert!(stats.storage_bytes_mp < stats.storage_bytes_fp64);
+    }
+
+    #[test]
+    fn fp64_map_needs_no_conversions() {
+        let mut a = spd_matrix(64, 16);
+        let stats = factorize_mp(&mut a, &uniform_map(4, Precision::Fp64), 2).unwrap();
+        assert_eq!(stats.conversions_performed, 0);
+        assert_eq!(stats.conversions_avoided, 0);
+        assert_eq!(stats.stc_avoidance_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stc_avoids_majority_of_panel_conversions() {
+        // nt = 8: each panel tile (m,k) feeds nt-k-2 GEMMs, so one producer
+        // conversion replaces that many consumer conversions.
+        let nt = 8;
+        let a0 = spd_matrix(nt * 16, 16);
+
+        // uniform reduced map: every GEMM operand comes from the cache
+        let mut a = a0.clone();
+        let stats = factorize_mp(&mut a, &uniform_map(nt, Precision::Fp16x32), 1).unwrap();
+        let ngemm = stats.kernel_counts[3] as u64;
+        assert_eq!(stats.conversions_avoided, 2 * ngemm, "every operand cached");
+        assert!(
+            stats.stc_avoidance_ratio() > 0.5,
+            "uniform map ratio {} (performed {}, avoided {})",
+            stats.stc_avoidance_ratio(),
+            stats.conversions_performed,
+            stats.conversions_avoided
+        );
+        assert!(stats.conversion_bytes_avoided > 0);
+
+        // adaptive map (the paper's setting), parallel schedule
+        let norms = tile_fro_norms(&a0);
+        let pmap = PrecisionMap::from_norms(&norms, 1e-4, &Precision::ADAPTIVE_SET);
+        let has_reduced_gemm = (0..nt)
+            .flat_map(|i| (0..i).map(move |j| (i, j)))
+            .any(|(i, j)| pmap.kernel(i, j) != Precision::Fp64);
+        let mut a = a0.clone();
+        let stats = factorize_mp(&mut a, &pmap, 4).unwrap();
+        if has_reduced_gemm {
+            assert!(
+                stats.stc_avoidance_ratio() > 0.5,
+                "adaptive map ratio {} (performed {}, avoided {})",
+                stats.stc_avoidance_ratio(),
+                stats.conversions_performed,
+                stats.conversions_avoided
+            );
+        }
+    }
+
+    #[test]
+    fn stc_parallel_matches_serial_mixed_precision_exactly() {
+        // The whole data path — blocked kernels, workspace staging, cached
+        // producer conversions — is bit-reproducible across schedules even
+        // in reduced precision.
+        let n = 96;
+        for p in [Precision::Fp16x32, Precision::Fp32, Precision::Fp16] {
+            let mut a1 = spd_matrix(n, 16);
+            let mut a2 = a1.clone();
+            let m = uniform_map(a1.nt(), p);
+            factorize_mp(&mut a1, &m, 1).unwrap();
+            factorize_mp(&mut a2, &m, 4).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    assert_eq!(a1.get(i, j), a2.get(i, j), "{p:?} ({i},{j})");
+                }
+            }
+        }
     }
 }

@@ -183,7 +183,10 @@ mod tests {
         let mut prev = rank(m.kernel(1, 0));
         for i in 2..nt {
             let r = rank(m.kernel(i, 0));
-            assert!(r <= prev, "tile ({i},0) precision increased away from diagonal");
+            assert!(
+                r <= prev,
+                "tile ({i},0) precision increased away from diagonal"
+            );
             prev = r;
         }
         // with this decay the far corner must be low precision

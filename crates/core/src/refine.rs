@@ -45,7 +45,12 @@ pub fn solve_refined(
     tol: f64,
     max_iters: usize,
 ) -> RefineResult {
-    let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+    let b_norm = b
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
     let mut x = spd_solve_tiled(l_mp, b);
     let mut rel = f64::INFINITY;
     for it in 0..=max_iters {
@@ -118,13 +123,16 @@ mod tests {
         // ...refinement recovers working accuracy
         let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-12, 40);
         assert!(r.converged, "residual stuck at {:e}", r.rel_residual);
-        let err = r
-            .x
-            .iter()
-            .zip(&x0)
-            .map(|(u, v)| (u - v).abs())
-            .fold(0.0, f64::max);
-        assert!(err < 1e-9, "refined error {err:e} after {} iters", r.iterations);
+        let err =
+            r.x.iter()
+                .zip(&x0)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0, f64::max);
+        assert!(
+            err < 1e-9,
+            "refined error {err:e} after {} iters",
+            r.iterations
+        );
         assert!(err < direct_err / 10.0);
     }
 

@@ -54,6 +54,7 @@ fn wire_of(
 
 /// Build a [`SimInput`] for a consumer reading tile `(i, j)` with kernel
 /// input requirement `req`.
+#[allow(clippy::too_many_arguments)]
 fn input_for(
     plan: &ConversionPlan,
     pmap: &PrecisionMap,
@@ -110,9 +111,7 @@ pub fn build_sim_tasks(
         // refetch) then uses — this is where STC's data-motion savings come
         // from. Non-senders and TTC tiles stay at storage precision.
         let is_sender = matches!(t, CholeskyTask::Potrf { .. } | CholeskyTask::Trsm { .. });
-        let stc_sender = opts.strategy == Strategy::Auto
-            && is_sender
-            && plan.is_stc(out_i, out_j);
+        let stc_sender = opts.strategy == Strategy::Auto && is_sender && plan.is_stc(out_i, out_j);
         let out_bytes = if stc_sender {
             elems * plan.comm(out_i, out_j).bytes() as u64
         } else {
@@ -137,20 +136,56 @@ pub fn build_sim_tasks(
             }
             CholeskyTask::Trsm { m, k } => {
                 let req = comm_requirement(precision);
-                inputs.push(input_for(&plan, pmap, opts.strategy, tile_id(k, k), k, k, req, nb));
+                inputs.push(input_for(
+                    &plan,
+                    pmap,
+                    opts.strategy,
+                    tile_id(k, k),
+                    k,
+                    k,
+                    req,
+                    nb,
+                ));
                 inputs.push(SimInput::plain(tile_id(m, k), in_place_bytes));
             }
             CholeskyTask::Syrk { m, k } => {
                 // DSYRK reads the panel tile at FP64 (widening conversion
                 // from whatever the wire carries).
                 let req = CommPrecision::Fp64;
-                inputs.push(input_for(&plan, pmap, opts.strategy, tile_id(m, k), m, k, req, nb));
+                inputs.push(input_for(
+                    &plan,
+                    pmap,
+                    opts.strategy,
+                    tile_id(m, k),
+                    m,
+                    k,
+                    req,
+                    nb,
+                ));
                 inputs.push(SimInput::plain(tile_id(m, m), out_bytes));
             }
             CholeskyTask::Gemm { m, n, k } => {
                 let req = comm_requirement(precision);
-                inputs.push(input_for(&plan, pmap, opts.strategy, tile_id(m, k), m, k, req, nb));
-                inputs.push(input_for(&plan, pmap, opts.strategy, tile_id(n, k), n, k, req, nb));
+                inputs.push(input_for(
+                    &plan,
+                    pmap,
+                    opts.strategy,
+                    tile_id(m, k),
+                    m,
+                    k,
+                    req,
+                    nb,
+                ));
+                inputs.push(input_for(
+                    &plan,
+                    pmap,
+                    opts.strategy,
+                    tile_id(n, k),
+                    n,
+                    k,
+                    req,
+                    nb,
+                ));
                 inputs.push(SimInput::plain(tile_id(m, n), out_bytes));
             }
         }
@@ -225,7 +260,11 @@ mod tests {
         // Fig 8a anchor: FP64 Cholesky on one V100 at large size reaches
         // ≥ ~84% of the 7.8 Tflop/s peak.
         let nt = 20; // matrix 40960
-        let rep = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &v100_1gpu(), opts(Strategy::Auto));
+        let rep = simulate_cholesky(
+            &uniform_map(nt, Precision::Fp64),
+            &v100_1gpu(),
+            opts(Strategy::Auto),
+        );
         let eff = rep.tflops() / 7.8;
         assert!(eff > 0.80 && eff <= 1.0, "FP64 efficiency {eff}");
     }
@@ -248,8 +287,10 @@ mod tests {
     fn mixed_precision_beats_fp64() {
         let nt = 16;
         let cl = v100_1gpu();
-        let t64 = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cl, opts(Strategy::Auto)).makespan_s;
-        let t16 = simulate_cholesky(&uniform_map(nt, Precision::Fp16), &cl, opts(Strategy::Auto)).makespan_s;
+        let t64 = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cl, opts(Strategy::Auto))
+            .makespan_s;
+        let t16 = simulate_cholesky(&uniform_map(nt, Precision::Fp16), &cl, opts(Strategy::Auto))
+            .makespan_s;
         assert!(t64 / t16 > 3.0, "FP64/FP16 speedup {}", t64 / t16);
     }
 
@@ -301,8 +342,10 @@ mod tests {
     fn energy_lower_for_mixed_precision() {
         let nt = 16;
         let cl = v100_1gpu();
-        let e64 = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cl, opts(Strategy::Auto)).energy_joules();
-        let e16 = simulate_cholesky(&uniform_map(nt, Precision::Fp16), &cl, opts(Strategy::Auto)).energy_joules();
+        let e64 = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cl, opts(Strategy::Auto))
+            .energy_joules();
+        let e16 = simulate_cholesky(&uniform_map(nt, Precision::Fp16), &cl, opts(Strategy::Auto))
+            .energy_joules();
         assert!(e16 < e64 / 2.0, "energy {e16} vs {e64}");
     }
 
@@ -311,7 +354,10 @@ mod tests {
         let nt = 6;
         let m = uniform_map(nt, Precision::Fp32);
         let (tasks, initial) = build_sim_tasks(&m, &v100_1gpu(), opts(Strategy::Auto));
-        assert_eq!(tasks.len(), nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6);
+        assert_eq!(
+            tasks.len(),
+            nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6
+        );
         assert_eq!(initial.len(), nt * (nt + 1) / 2);
     }
 }

@@ -238,9 +238,9 @@ mod tests {
         let mut y = vec![0.0; 24];
         c.matvec_add(&x, &mut y);
         let d = c.decompress();
-        for i in 0..24 {
+        for (i, yi) in y.iter().enumerate() {
             let want: f64 = (0..30).map(|j| d.get(i, j) * x[j]).sum();
-            assert!((y[i] - want).abs() < 1e-10);
+            assert!((yi - want).abs() < 1e-10);
         }
     }
 

@@ -33,7 +33,8 @@ fn round_minifloat(x: f64, man_bits: i32, bias: i32, max_finite: f64, saturate: 
     let r = (a / q).round_ties_even() * q;
     if r > max_finite {
         // Rounding may carry into the next binade; check against the limit.
-        let halfway_to_next = max_finite + (2.0f64).powi((max_finite.log2().floor() as i32) - man_bits - 1);
+        let halfway_to_next =
+            max_finite + (2.0f64).powi((max_finite.log2().floor() as i32) - man_bits - 1);
         if a < halfway_to_next || saturate {
             return sign * max_finite;
         }
@@ -110,15 +111,9 @@ mod tests {
         for i in 1..400 {
             let x = 0.01 * i as f64;
             let r3 = round_e4m3(x);
-            assert!(
-                ((r3 - x) / x).abs() <= E4M3_UNIT_ROUNDOFF,
-                "e4m3 {x}: {r3}"
-            );
+            assert!(((r3 - x) / x).abs() <= E4M3_UNIT_ROUNDOFF, "e4m3 {x}: {r3}");
             let r2 = round_e5m2(x);
-            assert!(
-                ((r2 - x) / x).abs() <= E5M2_UNIT_ROUNDOFF,
-                "e5m2 {x}: {r2}"
-            );
+            assert!(((r2 - x) / x).abs() <= E5M2_UNIT_ROUNDOFF, "e5m2 {x}: {r2}");
         }
     }
 

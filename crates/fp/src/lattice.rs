@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn comm_of_storage_roundtrips() {
-        for c in [CommPrecision::Fp16, CommPrecision::Fp32, CommPrecision::Fp64] {
+        for c in [
+            CommPrecision::Fp16,
+            CommPrecision::Fp32,
+            CommPrecision::Fp64,
+        ] {
             assert_eq!(comm_of_storage(c.as_storage()), c);
         }
     }

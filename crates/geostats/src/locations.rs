@@ -150,8 +150,8 @@ mod tests {
         // space than under a random permutation
         let mut rng = StdRng::seed_from_u64(12);
         let pts = gen_locations_2d(1024, &mut rng);
-        let mean_step: f64 = pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>()
-            / (pts.len() - 1) as f64;
+        let mean_step: f64 =
+            pts.windows(2).map(|w| w[0].dist(&w[1])).sum::<f64>() / (pts.len() - 1) as f64;
         // grid step is 1/32 ≈ 0.03; Morton neighbours average within a few
         // grid steps, while random ordering would average ~0.5
         assert!(mean_step < 0.12, "mean Morton step {mean_step}");

@@ -3,12 +3,12 @@
 //! through a given log-likelihood backend, summarize as boxplots per
 //! parameter (Figs 5–6).
 
+use crate::boxplot::BoxplotStats;
 use crate::covariance::CovarianceModel;
 use crate::datagen::generate_field;
 use crate::locations::Location;
 use crate::loglik::LoglikBackend;
 use crate::mle::{estimate, MleConfig};
-use crate::boxplot::BoxplotStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -36,7 +36,11 @@ pub struct MonteCarloResult {
 impl MonteCarloResult {
     /// Median absolute deviation of parameter `p` from `truth`.
     pub fn median_abs_error(&self, p: usize, truth: f64) -> f64 {
-        let mut devs: Vec<f64> = self.estimates.iter().map(|e| (e[p] - truth).abs()).collect();
+        let mut devs: Vec<f64> = self
+            .estimates
+            .iter()
+            .map(|e| (e[p] - truth).abs())
+            .collect();
         devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         devs[devs.len() / 2]
     }
@@ -99,7 +103,7 @@ mod tests {
             seed: 100,
             mle,
         };
-        let r = run_monte_carlo(&model, 225, |n, rng| gen_locations_2d(n, rng), &cfg, &ExactBackend);
+        let r = run_monte_carlo(&model, 225, gen_locations_2d, &cfg, &ExactBackend);
         assert_eq!(r.estimates.len(), 6);
         assert_eq!(r.boxplots.len(), 2);
         // medians near truth with generous tolerance at this tiny scale
@@ -128,8 +132,8 @@ mod tests {
             seed: 7,
             mle,
         };
-        let a = run_monte_carlo(&model, 64, |n, rng| gen_locations_2d(n, rng), &cfg, &ExactBackend);
-        let b = run_monte_carlo(&model, 64, |n, rng| gen_locations_2d(n, rng), &cfg, &ExactBackend);
+        let a = run_monte_carlo(&model, 64, gen_locations_2d, &cfg, &ExactBackend);
+        let b = run_monte_carlo(&model, 64, gen_locations_2d, &cfg, &ExactBackend);
         assert_eq!(a.estimates, b.estimates);
     }
 }

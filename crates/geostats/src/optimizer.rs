@@ -297,8 +297,7 @@ mod tests {
 
     #[test]
     fn rosenbrock_like_banana() {
-        let f =
-            |x: &[f64]| Some(-((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)));
+        let f = |x: &[f64]| Some(-((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)));
         let r = maximize_bounded(f, &cfg(2, -2.0, 2.0, -1.0));
         assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
         assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);

@@ -66,9 +66,7 @@ pub fn predict_with_solver(
     let mut variance = Vec::with_capacity(test.len());
     for t in test {
         // cross-covariance column for this test point
-        let k: Vec<f64> = (0..n)
-            .map(|i| model.cov_loc(&train[i], t, theta))
-            .collect();
+        let k: Vec<f64> = (0..n).map(|i| model.cov_loc(&train[i], t, theta)).collect();
         let mu: f64 = k.iter().zip(&alpha).map(|(a, b)| a * b).sum();
         let w = solve(&k); // Σ⁻¹ k
         let var = c0 - k.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
@@ -105,7 +103,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn split(locs: Vec<Location>, z: Vec<f64>, every: usize) -> (Vec<Location>, Vec<f64>, Vec<Location>, Vec<f64>) {
+    fn split(
+        locs: Vec<Location>,
+        z: Vec<f64>,
+        every: usize,
+    ) -> (Vec<Location>, Vec<f64>, Vec<Location>, Vec<f64>) {
         let mut train = Vec::new();
         let mut ztr = Vec::new();
         let mut test = Vec::new();

@@ -85,7 +85,10 @@ mod tests {
         let reps = 12;
         for _ in 0..reps {
             let z = generate_field(&model, &locs, &theta, &mut rng);
-            for (k, b) in empirical_variogram(&locs, &z, max_d, nbins).iter().enumerate() {
+            for (k, b) in empirical_variogram(&locs, &z, max_d, nbins)
+                .iter()
+                .enumerate()
+            {
                 acc[k] += b.gamma;
                 hmid[k] = b.h;
             }

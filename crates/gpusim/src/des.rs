@@ -312,7 +312,9 @@ impl Simulator {
                         })
                         .map(|(&sg, &b)| (sg, b));
                     match src {
-                        Some((sg, bytes)) if self.cluster.node_of(sg as usize) as u32 == my_node => {
+                        Some((sg, bytes))
+                            if self.cluster.node_of(sg as usize) as u32 == my_node =>
+                        {
                             // Intra-node peer transfer.
                             let dur = model::link_time_s(bytes, node_spec.p2p_gbs, 5e-6);
                             let s = gpus[g].h2d_free.max(avail);
@@ -330,8 +332,11 @@ impl Simulator {
                             let s1 = gpus[sg as usize].d2h_free.max(avail);
                             gpus[sg as usize].d2h_free = s1 + d2h;
                             d2h_bytes += bytes;
-                            let net =
-                                model::link_time_s(bytes, node_spec.nic_gbs, node_spec.nic_latency_s);
+                            let net = model::link_time_s(
+                                bytes,
+                                node_spec.nic_gbs,
+                                node_spec.nic_latency_s,
+                            );
                             let s3 = nic_in[my_node as usize].max(s1 + d2h);
                             nic_in[my_node as usize] = s3 + net;
                             nic_bytes += bytes;
@@ -350,8 +355,11 @@ impl Simulator {
                                 .next()
                                 .map(|(&nd, &b)| (nd, b))
                                 .expect("input tile has no copy anywhere — DAG/versioning bug");
-                            let net =
-                                model::link_time_s(bytes, node_spec.nic_gbs, node_spec.nic_latency_s);
+                            let net = model::link_time_s(
+                                bytes,
+                                node_spec.nic_gbs,
+                                node_spec.nic_latency_s,
+                            );
                             let s3 = nic_in[my_node as usize].max(avail);
                             nic_in[my_node as usize] = s3 + net;
                             nic_bytes += bytes;
@@ -378,7 +386,11 @@ impl Simulator {
                     &mut tiles,
                     my_node,
                 );
-                tiles.get_mut(&inp.tile).unwrap().device_copies.insert(t.gpu, inp.wire_bytes);
+                tiles
+                    .get_mut(&inp.tile)
+                    .unwrap()
+                    .device_copies
+                    .insert(t.gpu, inp.wire_bytes);
                 inputs_arrival = inputs_arrival.max(arrival);
             }
 
@@ -412,7 +424,9 @@ impl Simulator {
             // The kernel occupies its precision's execution-unit class;
             // other classes of the same GPU keep running concurrently.
             let class = gspec.unit_class(t.precision);
-            let start = dep_ready.max(inputs_arrival).max(gpus[g].compute_free[class]);
+            let start = dep_ready
+                .max(inputs_arrival)
+                .max(gpus[g].compute_free[class]);
             let end = start + conv_s + kern_s + send_s;
             gpus[g].compute_free[class] = end;
             gpus[g].busy.push((start, end));
@@ -602,7 +616,12 @@ mod tests {
         let tasks = vec![gemm_task(vec![], 0, vec![SimInput::plain(1, bytes)], nb)];
         let rep = sim.run(&tasks, &[(0, 0, bytes), (1, 0, bytes)]);
         let expect = model::xfer_time_s(&NodeSpec::summit().gpu, bytes)
-            + model::kernel_time_s(&NodeSpec::summit().gpu, SimKernel::Gemm, Precision::Fp64, nb);
+            + model::kernel_time_s(
+                &NodeSpec::summit().gpu,
+                SimKernel::Gemm,
+                Precision::Fp64,
+                nb,
+            );
         assert!(
             (rep.makespan_s - expect).abs() < 1e-9,
             "{} vs {}",
@@ -632,14 +651,7 @@ mod tests {
         let bytes = (nb * nb * 8) as u64;
         // 8 independent GEMMs, each fetching a distinct input tile
         let tasks: Vec<SimTask> = (0..8)
-            .map(|i| {
-                gemm_task(
-                    vec![],
-                    i,
-                    vec![SimInput::plain(100 + i, bytes)],
-                    nb,
-                )
-            })
+            .map(|i| gemm_task(vec![], i, vec![SimInput::plain(100 + i, bytes)], nb))
             .collect();
         let seed: Vec<(u32, u32, u64)> = (0..8)
             .map(|i| (100 + i, 0, bytes))
@@ -705,11 +717,23 @@ mod tests {
         let sim = Simulator::new(ClusterSpec::new(node, 1), SimConfig::default());
         let nb = 1024usize;
         let bytes = (nb * nb * 8) as u64; // 8 MB per tile
-        // touch 12 distinct inputs (96 MB > capacity), then re-read the first
+                                          // touch 12 distinct inputs (96 MB > capacity), then re-read the first
         let mut tasks: Vec<SimTask> = (0..12)
-            .map(|i| gemm_task(if i == 0 { vec![] } else { vec![i - 1] }, 200 + i, vec![SimInput::plain(50 + i, bytes)], nb))
+            .map(|i| {
+                gemm_task(
+                    if i == 0 { vec![] } else { vec![i - 1] },
+                    200 + i,
+                    vec![SimInput::plain(50 + i, bytes)],
+                    nb,
+                )
+            })
             .collect();
-        tasks.push(gemm_task(vec![11], 300, vec![SimInput::plain(50, bytes)], nb));
+        tasks.push(gemm_task(
+            vec![11],
+            300,
+            vec![SimInput::plain(50, bytes)],
+            nb,
+        ));
         let seed: Vec<(u32, u32, u64)> = (0..12)
             .map(|i| (50 + i as u32, 0, bytes))
             .chain((0..13).map(|i| (if i < 12 { 200 + i as u32 } else { 300 }, 0, bytes)))

@@ -128,7 +128,12 @@ mod tests {
     fn power_between_idle_and_tdp() {
         for g in GpuGeneration::ALL {
             let s = g.spec();
-            for kind in [SimKernel::Potrf, SimKernel::Trsm, SimKernel::Syrk, SimKernel::Gemm] {
+            for kind in [
+                SimKernel::Potrf,
+                SimKernel::Trsm,
+                SimKernel::Syrk,
+                SimKernel::Gemm,
+            ] {
                 for p in Precision::ALL {
                     let w = kernel_power_watts(&s, kind, p);
                     assert!(w > s.idle_watts && w <= s.tdp_watts, "{g:?} {kind:?} {p}");

@@ -16,7 +16,11 @@ pub enum GpuGeneration {
 }
 
 impl GpuGeneration {
-    pub const ALL: [GpuGeneration; 3] = [GpuGeneration::V100, GpuGeneration::A100, GpuGeneration::H100];
+    pub const ALL: [GpuGeneration; 3] = [
+        GpuGeneration::V100,
+        GpuGeneration::A100,
+        GpuGeneration::H100,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {

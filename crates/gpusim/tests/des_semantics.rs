@@ -40,11 +40,12 @@ fn stale_version_is_refetched_not_reused() {
         // t3: gpu1 reads tile 5 (v2) -> must transfer again
         task(vec![2], 1, 101, vec![SimInput::plain(5, bytes)], nb),
     ];
-    let rep = sim.run(
-        &tasks,
-        &[(5, 0, bytes), (100, 0, bytes), (101, 0, bytes)],
+    let rep = sim.run(&tasks, &[(5, 0, bytes), (100, 0, bytes), (101, 0, bytes)]);
+    assert_eq!(
+        rep.p2p_bytes,
+        2 * bytes,
+        "both versions must cross the link"
     );
-    assert_eq!(rep.p2p_bytes, 2 * bytes, "both versions must cross the link");
 }
 
 #[test]
@@ -61,7 +62,10 @@ fn node_host_cache_shares_nic_arrivals() {
         task(vec![0], 7, 201, vec![SimInput::plain(7, bytes)], nb), // node 1, gpu 7
     ];
     let rep = sim.run(&tasks, &[(7, 0, bytes), (200, 1, bytes), (201, 1, bytes)]);
-    assert_eq!(rep.nic_bytes, bytes, "one fabric crossing for two consumers");
+    assert_eq!(
+        rep.nic_bytes, bytes,
+        "one fabric crossing for two consumers"
+    );
     // both consumers H2D from their node's host copy
     assert!(rep.h2d_bytes >= 2 * bytes);
 }
@@ -157,7 +161,15 @@ fn energy_respects_tdp_envelope() {
     let nb = 2048;
     let bytes = (nb * nb * 8) as u64;
     let tasks: Vec<SimTask> = (0..4u32)
-        .map(|i| task(if i == 0 { vec![] } else { vec![i - 1] }, 0, 20 + i, vec![], nb))
+        .map(|i| {
+            task(
+                if i == 0 { vec![] } else { vec![i - 1] },
+                0,
+                20 + i,
+                vec![],
+                nb,
+            )
+        })
         .collect();
     let seed: Vec<(u32, u32, u64)> = (0..4).map(|i| (20 + i, 0, bytes)).collect();
     let rep = sim.run(&tasks, &seed);

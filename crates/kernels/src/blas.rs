@@ -1,4 +1,4 @@
-//! Reference dense kernels on raw row-major buffers.
+//! Dense kernels on raw row-major buffers.
 //!
 //! Shapes follow the tile Cholesky of Algorithm 1 (lower variant):
 //!
@@ -8,10 +8,33 @@
 //! * `gemm_nt`: `C ← C − A Bᵀ` (the trailing-update `alpha = −1, beta = 1`
 //!   form; general `alpha/beta` GEMM is [`gemm_full_f64`]).
 //!
-//! Row-major with `B` transposed makes every inner loop a dot product of two
-//! contiguous rows, which the compiler auto-vectorizes; the large kernels
-//! parallelize across output rows with rayon, per the hpc-parallel guides.
+//! # Blocked data path
+//!
+//! GEMM and SYRK run a cache-blocked, register-blocked algorithm: a
+//! `MR × NR` micro-kernel keeps a 4×4 accumulator block in registers and
+//! reuses every loaded A/B element four times, wrapped in `KC`-deep k-blocks
+//! and `MC × NC` cache blocks. The row-major NT layout means both operands
+//! are already k-contiguous per row ("pre-packed"), so no packing copies —
+//! and no heap allocation — are needed.
+//!
+//! **Bit-exactness contract.** For `k ≤ KC` the blocked kernels produce
+//! results *bit-identical* to the naive row-dot `reference_*` kernels: each
+//! accumulator sums its products in increasing-`t` order starting from
+//! `+0.0`, and `C` receives a single subtraction per k-block — the exact
+//! operation sequence of `c -= aᵢ·bⱼ`. Zero-padded edge lanes are discarded
+//! before write-back and cannot perturb real lanes. The k-block (`pc`) loop
+//! is outermost so this order is preserved under `MC`/`NC` blocking, and the
+//! parallel path stripes whole rows of C, which keeps every per-element
+//! operation sequence unchanged. Tile kernels always have `k = nb ≤ KC`, so
+//! mixed-precision factorizations are reproducible serial-vs-parallel and
+//! blocked-vs-reference.
+//!
+//! Every large kernel has a `*_p` variant with an explicit `parallel: bool`;
+//! the scheduler passes `false` when it already runs tasks on several
+//! workers, which avoids nested-parallelism oversubscription. The legacy
+//! names keep the old auto-threshold behaviour.
 
+use crate::workspace::{with_thread_workspace, Workspace};
 use rayon::prelude::*;
 
 /// Error: the matrix was not (numerically) symmetric positive definite.
@@ -32,10 +55,343 @@ impl std::error::Error for NotSpd {}
 /// Minimum row count before a kernel bothers spawning rayon tasks.
 const PAR_THRESHOLD: usize = 64;
 
-/// Unblocked lower Cholesky in place on a row-major `n × n` buffer.
+/// Micro-kernel register block: rows of A per micro-tile.
+pub const MR: usize = 4;
+/// Micro-kernel register block: rows of B (columns of C) per micro-tile.
+pub const NR: usize = 4;
+/// k-depth of one cache block; also the bit-exactness horizon (see module
+/// docs): `k ≤ KC` runs in a single k-block.
+pub const KC: usize = 256;
+/// Rows of C per cache block (A block is `MC × KC` ≈ 128 KiB in f64).
+pub const MC: usize = 64;
+/// Columns of C per cache block (B block is `NC × KC` ≈ 256 KiB in f64).
+pub const NC: usize = 128;
+
+/// Zero padding for edge micro-tiles (`kc ≤ KC` always holds).
+static ZEROS_F64: [f64; KC] = [0.0; KC];
+static ZEROS_F32: [f32; KC] = [0.0; KC];
+
+/// Row `i` of a `nrows × k` row-major matrix, restricted to `[pc, pc+kc)` —
+/// or the zero row when `i` falls off the edge of a partial micro-tile.
+#[inline(always)]
+fn row_or<'s, T>(
+    mat: &'s [T],
+    nrows: usize,
+    i: usize,
+    k: usize,
+    pc: usize,
+    kc: usize,
+    z: &'s [T],
+) -> &'s [T] {
+    if i < nrows {
+        &mat[i * k + pc..i * k + pc + kc]
+    } else {
+        &z[..kc]
+    }
+}
+
+/// The register-blocked micro-kernel: 16 independent accumulators, each
+/// summing its products in increasing-`t` order from `+0.0` — the same
+/// operation sequence as a naive dot product, which is what makes the
+/// blocked kernels bit-identical to the reference ones within a k-block.
+#[inline(always)]
+fn micro_4x4<T>(ar: [&[T]; MR], br: [&[T]; NR], kc: usize) -> [[T; NR]; MR]
+where
+    T: Copy + Default + core::ops::Mul<Output = T> + core::ops::AddAssign,
+{
+    // Exact-length reslices so the inner loop carries no bounds checks, and
+    // 16 named scalar accumulators so they stay in registers.
+    let (a0, a1, a2, a3) = (&ar[0][..kc], &ar[1][..kc], &ar[2][..kc], &ar[3][..kc]);
+    let (b0, b1, b2, b3) = (&br[0][..kc], &br[1][..kc], &br[2][..kc], &br[3][..kc]);
+    let d = T::default;
+    let (mut s00, mut s01, mut s02, mut s03) = (d(), d(), d(), d());
+    let (mut s10, mut s11, mut s12, mut s13) = (d(), d(), d(), d());
+    let (mut s20, mut s21, mut s22, mut s23) = (d(), d(), d(), d());
+    let (mut s30, mut s31, mut s32, mut s33) = (d(), d(), d(), d());
+    for t in 0..kc {
+        let (x0, x1, x2, x3) = (a0[t], a1[t], a2[t], a3[t]);
+        let (y0, y1, y2, y3) = (b0[t], b1[t], b2[t], b3[t]);
+        s00 += x0 * y0;
+        s01 += x0 * y1;
+        s02 += x0 * y2;
+        s03 += x0 * y3;
+        s10 += x1 * y0;
+        s11 += x1 * y1;
+        s12 += x1 * y2;
+        s13 += x1 * y3;
+        s20 += x2 * y0;
+        s21 += x2 * y1;
+        s22 += x2 * y2;
+        s23 += x2 * y3;
+        s30 += x3 * y0;
+        s31 += x3 * y1;
+        s32 += x3 * y2;
+        s33 += x3 * y3;
+    }
+    [
+        [s00, s01, s02, s03],
+        [s10, s11, s12, s13],
+        [s20, s21, s22, s23],
+        [s30, s31, s32, s33],
+    ]
+}
+
+/// Sequential blocked core of `C ← C − A Bᵀ` on an `m`-row stripe.
+/// `a` holds the stripe's rows of A (`m × k`), `b` the full `n × k` operand.
+fn gemm_nt_seq<T>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize, z: &[T])
+where
+    T: Copy + Default + core::ops::Mul<Output = T> + core::ops::AddAssign + core::ops::SubAssign,
+{
+    let mut pc = 0;
+    while pc < k {
+        let kc = (k - pc).min(KC);
+        let mut ic = 0;
+        while ic < m {
+            let mc = (m - ic).min(MC);
+            let mut jc = 0;
+            while jc < n {
+                let nc = (n - jc).min(NC);
+                let mut ir = ic;
+                while ir < ic + mc {
+                    let mr = (ic + mc - ir).min(MR);
+                    let ar = [
+                        row_or(a, m, ir, k, pc, kc, z),
+                        row_or(a, m, ir + 1, k, pc, kc, z),
+                        row_or(a, m, ir + 2, k, pc, kc, z),
+                        row_or(a, m, ir + 3, k, pc, kc, z),
+                    ];
+                    let mut jr = jc;
+                    while jr < jc + nc {
+                        let nr = (jc + nc - jr).min(NR);
+                        let br = [
+                            row_or(b, n, jr, k, pc, kc, z),
+                            row_or(b, n, jr + 1, k, pc, kc, z),
+                            row_or(b, n, jr + 2, k, pc, kc, z),
+                            row_or(b, n, jr + 3, k, pc, kc, z),
+                        ];
+                        let acc = micro_4x4(ar, br, kc);
+                        for (ii, accr) in acc.iter().enumerate().take(mr) {
+                            let crow = &mut c[(ir + ii) * n..(ir + ii) * n + n];
+                            for (jj, &s) in accr.iter().enumerate().take(nr) {
+                                crow[jr + jj] -= s;
+                            }
+                        }
+                        jr += NR;
+                    }
+                    ir += MR;
+                }
+                jc += NC;
+            }
+            ic += MC;
+        }
+        pc += KC;
+    }
+}
+
+/// Blocked `C ← C − A Bᵀ` with explicit parallelism control. The parallel
+/// path stripes rows of C (and the matching rows of A) across threads; each
+/// stripe runs the identical sequential core, so results are bit-equal to
+/// the `parallel = false` path.
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_blocked<T>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    n: usize,
+    k: usize,
+    parallel: bool,
+    z: &'static [T],
+) where
+    T: Copy
+        + Default
+        + core::ops::Mul<Output = T>
+        + core::ops::AddAssign
+        + core::ops::SubAssign
+        + Send
+        + Sync,
+{
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if parallel && m >= PAR_THRESHOLD {
+        let nthr = rayon::current_num_threads().max(1);
+        let rows = m.div_ceil(nthr).max(MR);
+        c.par_chunks_mut(rows * n).enumerate().for_each(|(s, cs)| {
+            let i0 = s * rows;
+            let ms = cs.len() / n;
+            gemm_nt_seq(&a[i0 * k..(i0 + ms) * k], b, cs, ms, n, k, z);
+        });
+    } else {
+        gemm_nt_seq(a, b, c, m, n, k, z);
+    }
+}
+
+/// `C ← C − A Bᵀ` with `A: m × k`, `B: n × k`, `C: m × n` (f64), blocked,
+/// with an explicit `parallel` switch.
+pub fn gemm_nt_f64_p(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    parallel: bool,
+) {
+    gemm_nt_blocked(a, b, c, m, n, k, parallel, &ZEROS_F64);
+}
+
+/// `C ← C − A Bᵀ` (f64). Legacy auto-threshold entry point.
+pub fn gemm_nt_f64(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    gemm_nt_f64_p(a, b, c, m, n, k, m >= PAR_THRESHOLD);
+}
+
+/// `C ← C − A Bᵀ` in f32 arithmetic (FP32 accumulation — also the compute
+/// path for TF32 / FP16_32 / BF16_32 after their input quantization), with
+/// an explicit `parallel` switch.
+pub fn gemm_nt_f32_p(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    parallel: bool,
+) {
+    gemm_nt_blocked(a, b, c, m, n, k, parallel, &ZEROS_F32);
+}
+
+/// `C ← C − A Bᵀ` (f32). Legacy auto-threshold entry point.
+pub fn gemm_nt_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    gemm_nt_f32_p(a, b, c, m, n, k, m >= PAR_THRESHOLD);
+}
+
+/// Naive row-dot `C ← C − A Bᵀ` (f64): the sequential oracle the blocked
+/// kernel is tested (bit-exactly, for `k ≤ KC`) and benchmarked against.
+pub fn reference_gemm_nt_f64(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    for (i, crow) in c.chunks_mut(n).enumerate() {
+        let ai = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let s: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+            *cij -= s;
+        }
+    }
+}
+
+/// Naive row-dot `C ← C − A Bᵀ` (f32) oracle.
+pub fn reference_gemm_nt_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(c.len(), m * n);
+    for (i, crow) in c.chunks_mut(n).enumerate() {
+        let ai = &a[i * k..(i + 1) * k];
+        for (j, cij) in crow.iter_mut().enumerate() {
+            let bj = &b[j * k..(j + 1) * k];
+            let s: f32 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
+            *cij -= s;
+        }
+    }
+}
+
+/// Sequential blocked SYRK core on a row stripe `[row0, row0 + rows)` of C.
+/// `c` is the stripe (`rows × m`); `a` is the full `m × k` panel.
+fn syrk_ln_seq(a: &[f64], m: usize, k: usize, c: &mut [f64], row0: usize, rows: usize) {
+    let z = &ZEROS_F64;
+    let mut pc = 0;
+    while pc < k {
+        let kc = (k - pc).min(KC);
+        let mut ir = 0;
+        while ir < rows {
+            let gi = row0 + ir;
+            let mr = (rows - ir).min(MR);
+            let ar = [
+                row_or(a, m, gi, k, pc, kc, z),
+                row_or(a, m, gi + 1, k, pc, kc, z),
+                row_or(a, m, gi + 2, k, pc, kc, z),
+                row_or(a, m, gi + 3, k, pc, kc, z),
+            ];
+            // Columns needed by this micro-row: j ≤ gi + mr − 1. Interior
+            // micro-tiles write all 16 lanes; only diagonal-straddling tiles
+            // mask to the lower triangle.
+            let jmax = (gi + mr).min(m);
+            let mut jr = 0;
+            while jr < jmax {
+                let nr = (jmax - jr).min(NR);
+                let br = [
+                    row_or(a, m, jr, k, pc, kc, z),
+                    row_or(a, m, jr + 1, k, pc, kc, z),
+                    row_or(a, m, jr + 2, k, pc, kc, z),
+                    row_or(a, m, jr + 3, k, pc, kc, z),
+                ];
+                let acc = micro_4x4(ar, br, kc);
+                for (ii, accr) in acc.iter().enumerate().take(mr) {
+                    let i = gi + ii;
+                    let crow = &mut c[(ir + ii) * m..(ir + ii) * m + m];
+                    for (jj, &s) in accr.iter().enumerate().take(nr) {
+                        let j = jr + jj;
+                        if j <= i {
+                            crow[j] -= s;
+                        }
+                    }
+                }
+                jr += NR;
+            }
+            ir += MR;
+        }
+        pc += KC;
+    }
+}
+
+/// `C ← C − A Aᵀ` on the lower triangle of the `m × m` matrix `C`,
+/// with `A` an `m × k` panel. Blocked, with explicit parallelism control.
+pub fn syrk_ln_f64_p(a: &[f64], m: usize, k: usize, c: &mut [f64], parallel: bool) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(c.len(), m * m);
+    if m == 0 || k == 0 {
+        return;
+    }
+    if parallel && m >= PAR_THRESHOLD {
+        let nthr = rayon::current_num_threads().max(1);
+        let rows = m.div_ceil(nthr).max(MR);
+        c.par_chunks_mut(rows * m).enumerate().for_each(|(s, cs)| {
+            syrk_ln_seq(a, m, k, cs, s * rows, cs.len() / m);
+        });
+    } else {
+        syrk_ln_seq(a, m, k, c, 0, m);
+    }
+}
+
+/// `C ← C − A Aᵀ` (lower). Legacy auto-threshold entry point.
+pub fn syrk_ln_f64(a: &[f64], m: usize, k: usize, c: &mut [f64]) {
+    syrk_ln_f64_p(a, m, k, c, m >= PAR_THRESHOLD);
+}
+
+/// Naive row-dot SYRK oracle (sequential).
+pub fn reference_syrk_ln_f64(a: &[f64], m: usize, k: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(c.len(), m * m);
+    for (i, crow) in c.chunks_mut(m).enumerate() {
+        let ai = &a[i * k..(i + 1) * k];
+        for j in 0..=i {
+            let aj = &a[j * k..(j + 1) * k];
+            let s: f64 = ai.iter().zip(aj).map(|(x, y)| x * y).sum();
+            crow[j] -= s;
+        }
+    }
+}
+
+/// Unblocked lower Cholesky in place on a row-major `n × n` buffer, with
+/// explicit parallelism control for the trailing row updates.
 /// On success the lower triangle holds `L`; the strict upper triangle is
 /// left untouched.
-pub fn potrf_f64(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
+pub fn potrf_f64_p(a: &mut [f64], n: usize, parallel: bool) -> Result<(), NotSpd> {
     assert_eq!(a.len(), n * n);
     for j in 0..n {
         let mut d = a[j * n + j];
@@ -54,13 +410,23 @@ pub fn potrf_f64(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
             let s: f64 = chunk[..j].iter().zip(row_j).map(|(x, y)| x * y).sum();
             chunk[j] = (chunk[j] - s) / l;
         };
-        if n - j - 1 >= PAR_THRESHOLD {
+        if parallel && n - j > PAR_THRESHOLD {
             tail.par_chunks_mut(n).for_each(update);
         } else {
             tail.chunks_mut(n).for_each(update);
         }
     }
     Ok(())
+}
+
+/// Unblocked lower Cholesky. Legacy auto-threshold entry point.
+pub fn potrf_f64(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
+    potrf_f64_p(a, n, true)
+}
+
+/// Sequential unblocked Cholesky oracle.
+pub fn reference_potrf_f64(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
+    potrf_f64_p(a, n, false)
 }
 
 /// Lower Cholesky in f32 arithmetic (used by FP32-mode tiles).
@@ -89,8 +455,9 @@ pub fn potrf_f32(a: &mut [f32], n: usize) -> Result<(), NotSpd> {
 }
 
 /// Solve `X Lᵀ = B` in place on `B` (`m × n`), with `l` the lower-triangular
-/// `n × n` factor. Each row of `B` is an independent forward substitution.
-pub fn trsm_rlt_f64(l: &[f64], n: usize, b: &mut [f64], m: usize) {
+/// `n × n` factor; explicit parallelism control. Each row of `B` is an
+/// independent forward substitution.
+pub fn trsm_rlt_f64_p(l: &[f64], n: usize, b: &mut [f64], m: usize, parallel: bool) {
     assert_eq!(l.len(), n * n);
     assert_eq!(b.len(), m * n);
     let row_solve = |row: &mut [f64]| {
@@ -103,15 +470,20 @@ pub fn trsm_rlt_f64(l: &[f64], n: usize, b: &mut [f64], m: usize) {
             row[j] = (row[j] - s) / l[j * n + j];
         }
     };
-    if m >= PAR_THRESHOLD {
+    if parallel && m >= PAR_THRESHOLD {
         b.par_chunks_mut(n).for_each(row_solve);
     } else {
         b.chunks_mut(n).for_each(row_solve);
     }
 }
 
-/// f32 variant of [`trsm_rlt_f64`].
-pub fn trsm_rlt_f32(l: &[f32], n: usize, b: &mut [f32], m: usize) {
+/// Solve `X Lᵀ = B` in place on `B`. Legacy auto-threshold entry point.
+pub fn trsm_rlt_f64(l: &[f64], n: usize, b: &mut [f64], m: usize) {
+    trsm_rlt_f64_p(l, n, b, m, true)
+}
+
+/// f32 variant of [`trsm_rlt_f64_p`].
+pub fn trsm_rlt_f32_p(l: &[f32], n: usize, b: &mut [f32], m: usize, parallel: bool) {
     assert_eq!(l.len(), n * n);
     assert_eq!(b.len(), m * n);
     let row_solve = |row: &mut [f32]| {
@@ -124,77 +496,22 @@ pub fn trsm_rlt_f32(l: &[f32], n: usize, b: &mut [f32], m: usize) {
             row[j] = (row[j] - s) / l[j * n + j];
         }
     };
-    if m >= PAR_THRESHOLD {
+    if parallel && m >= PAR_THRESHOLD {
         b.par_chunks_mut(n).for_each(row_solve);
     } else {
         b.chunks_mut(n).for_each(row_solve);
     }
 }
 
-/// `C ← C − A Aᵀ` on the lower triangle of the `m × m` matrix `C`,
-/// with `A` an `m × k` panel.
-pub fn syrk_ln_f64(a: &[f64], m: usize, k: usize, c: &mut [f64]) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(c.len(), m * m);
-    let body = |(i, crow): (usize, &mut [f64])| {
-        let ai = &a[i * k..(i + 1) * k];
-        for j in 0..=i {
-            let aj = &a[j * k..(j + 1) * k];
-            let s: f64 = ai.iter().zip(aj).map(|(x, y)| x * y).sum();
-            crow[j] -= s;
-        }
-    };
-    if m >= PAR_THRESHOLD {
-        c.par_chunks_mut(m).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(m).enumerate().for_each(body);
-    }
-}
-
-/// `C ← C − A Bᵀ` with `A: m × k`, `B: n × k`, `C: m × n` (f64).
-pub fn gemm_nt_f64(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(c.len(), m * n);
-    let body = |(i, crow): (usize, &mut [f64])| {
-        let ai = &a[i * k..(i + 1) * k];
-        for (j, cij) in crow.iter_mut().enumerate() {
-            let bj = &b[j * k..(j + 1) * k];
-            let s: f64 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
-            *cij -= s;
-        }
-    };
-    if m >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
-}
-
-/// `C ← C − A Bᵀ` in f32 arithmetic (FP32 accumulation — also the compute
-/// path for TF32 / FP16_32 / BF16_32 after their input quantization).
-pub fn gemm_nt_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(c.len(), m * n);
-    let body = |(i, crow): (usize, &mut [f32])| {
-        let ai = &a[i * k..(i + 1) * k];
-        for (j, cij) in crow.iter_mut().enumerate() {
-            let bj = &b[j * k..(j + 1) * k];
-            let s: f32 = ai.iter().zip(bj).map(|(x, y)| x * y).sum();
-            *cij -= s;
-        }
-    };
-    if m >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
+/// f32 variant of [`trsm_rlt_f64`].
+pub fn trsm_rlt_f32(l: &[f32], n: usize, b: &mut [f32], m: usize) {
+    trsm_rlt_f32_p(l, n, b, m, true)
 }
 
 /// General `C ← alpha · A Bᵀ + beta · C` in f64 (used by the standalone GEMM
-/// benchmark of paper §IV).
-pub fn gemm_full_f64(
+/// benchmark of paper §IV), with explicit parallelism control.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_full_f64_p(
     alpha: f64,
     a: &[f64],
     b: &[f64],
@@ -203,6 +520,7 @@ pub fn gemm_full_f64(
     m: usize,
     n: usize,
     k: usize,
+    parallel: bool,
 ) {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), n * k);
@@ -215,11 +533,26 @@ pub fn gemm_full_f64(
             *cij = alpha * s + beta * *cij;
         }
     };
-    if m >= PAR_THRESHOLD {
+    if parallel && m >= PAR_THRESHOLD {
         c.par_chunks_mut(n).enumerate().for_each(body);
     } else {
         c.chunks_mut(n).enumerate().for_each(body);
     }
+}
+
+/// General `C ← alpha · A Bᵀ + beta · C`. Legacy auto-threshold entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_full_f64(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    gemm_full_f64_p(alpha, a, b, beta, c, m, n, k, true)
 }
 
 /// Full lower Cholesky of a dense row-major `n × n` matrix in place
@@ -236,29 +569,40 @@ pub fn cholesky_in_place(a: &mut [f64], n: usize) -> Result<(), NotSpd> {
 
 /// Blocked right-looking lower Cholesky on a dense row-major buffer:
 /// the dense-level mirror of Algorithm 1 (POTRF/TRSM/SYRK/GEMM on
-/// `nb`-sized panels).
+/// `nb`-sized panels). Stages blocks through this thread's [`Workspace`].
 pub fn potrf_blocked_f64(a: &mut [f64], n: usize, nb: usize) -> Result<(), NotSpd> {
+    with_thread_workspace(|ws| potrf_blocked_f64_ws(a, n, nb, ws, true))
+}
+
+/// [`potrf_blocked_f64`] on a caller-owned workspace with explicit
+/// parallelism control. After the first factorization of a given shape the
+/// workspace is warm and the whole routine performs zero heap allocations.
+pub fn potrf_blocked_f64_ws(
+    a: &mut [f64],
+    n: usize,
+    nb: usize,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> Result<(), NotSpd> {
     assert_eq!(a.len(), n * n);
     assert!(nb > 0);
-    // scratch block buffers (contiguous copies of the sub-blocks)
-    let read_block = |a: &[f64], i0: usize, j0: usize, r: usize, c: usize| -> Vec<f64> {
-        let mut b = Vec::with_capacity(r * c);
+    fn read_block(v: &mut Vec<f64>, a: &[f64], n: usize, i0: usize, j0: usize, r: usize, c: usize) {
+        v.clear();
         for i in 0..r {
-            b.extend_from_slice(&a[(i0 + i) * n + j0..(i0 + i) * n + j0 + c]);
+            v.extend_from_slice(&a[(i0 + i) * n + j0..(i0 + i) * n + j0 + c]);
         }
-        b
-    };
-    let write_block = |a: &mut [f64], b: &[f64], i0: usize, j0: usize, r: usize, c: usize| {
+    }
+    fn write_block(a: &mut [f64], b: &[f64], n: usize, i0: usize, j0: usize, r: usize, c: usize) {
         for i in 0..r {
             a[(i0 + i) * n + j0..(i0 + i) * n + j0 + c].copy_from_slice(&b[i * c..(i + 1) * c]);
         }
-    };
+    }
     let nt = n.div_ceil(nb);
     let dim = |t: usize| (n - t * nb).min(nb);
     for k in 0..nt {
         let dk = dim(k);
-        let mut lkk = read_block(a, k * nb, k * nb, dk, dk);
-        potrf_f64(&mut lkk, dk).map_err(|e| NotSpd {
+        let lkk = ws.p64.load(|v| read_block(v, a, n, k * nb, k * nb, dk, dk));
+        potrf_f64_p(lkk, dk, parallel).map_err(|e| NotSpd {
             column: k * nb + e.column,
         })?;
         // zero the strict upper of the diagonal block
@@ -267,25 +611,25 @@ pub fn potrf_blocked_f64(a: &mut [f64], n: usize, nb: usize) -> Result<(), NotSp
                 lkk[i * dk + j] = 0.0;
             }
         }
-        write_block(a, &lkk, k * nb, k * nb, dk, dk);
+        write_block(a, lkk, n, k * nb, k * nb, dk, dk);
         for m in (k + 1)..nt {
             let dm = dim(m);
-            let mut bmk = read_block(a, m * nb, k * nb, dm, dk);
-            trsm_rlt_f64(&lkk, dk, &mut bmk, dm);
-            write_block(a, &bmk, m * nb, k * nb, dm, dk);
+            let bmk = ws.c64.load(|v| read_block(v, a, n, m * nb, k * nb, dm, dk));
+            trsm_rlt_f64_p(lkk, dk, bmk, dm, parallel);
+            write_block(a, bmk, n, m * nb, k * nb, dm, dk);
         }
         for m in (k + 1)..nt {
             let dm = dim(m);
-            let amk = read_block(a, m * nb, k * nb, dm, dk);
-            let mut cmm = read_block(a, m * nb, m * nb, dm, dm);
-            syrk_ln_f64(&amk, dm, dk, &mut cmm);
-            write_block(a, &cmm, m * nb, m * nb, dm, dm);
+            let amk = ws.a64.load(|v| read_block(v, a, n, m * nb, k * nb, dm, dk));
+            let cmm = ws.c64.load(|v| read_block(v, a, n, m * nb, m * nb, dm, dm));
+            syrk_ln_f64_p(amk, dm, dk, cmm, parallel);
+            write_block(a, cmm, n, m * nb, m * nb, dm, dm);
             for t in (k + 1)..m {
                 let dt = dim(t);
-                let atk = read_block(a, t * nb, k * nb, dt, dk);
-                let mut cmt = read_block(a, m * nb, t * nb, dm, dt);
-                gemm_nt_f64(&amk, &atk, &mut cmt, dm, dt, dk);
-                write_block(a, &cmt, m * nb, t * nb, dm, dt);
+                let atk = ws.b64.load(|v| read_block(v, a, n, t * nb, k * nb, dt, dk));
+                let cmt = ws.c64.load(|v| read_block(v, a, n, m * nb, t * nb, dm, dt));
+                gemm_nt_f64_p(amk, atk, cmt, dm, dt, dk, parallel);
+                write_block(a, cmt, n, m * nb, t * nb, dm, dt);
             }
         }
     }
@@ -298,7 +642,11 @@ pub fn forward_solve_in_place(l: &[f64], n: usize, b: &mut [f64]) {
     assert_eq!(l.len(), n * n);
     assert_eq!(b.len(), n);
     for i in 0..n {
-        let s: f64 = l[i * n..i * n + i].iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        let s: f64 = l[i * n..i * n + i]
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x * y)
+            .sum();
         b[i] = (b[i] - s) / l[i * n + i];
     }
 }
@@ -511,6 +859,22 @@ mod tests {
     }
 
     #[test]
+    fn blocked_cholesky_steady_state_is_allocation_free() {
+        let n = 96;
+        let a0 = spd(n);
+        let mut ws = Workspace::new();
+        let mut a = a0.clone();
+        potrf_blocked_f64_ws(&mut a, n, 24, &mut ws, false).unwrap();
+        let warm = ws.grow_events();
+        assert!(warm > 0, "first run must populate the workspace");
+        for _ in 0..3 {
+            let mut a = a0.clone();
+            potrf_blocked_f64_ws(&mut a, n, 24, &mut ws, false).unwrap();
+        }
+        assert_eq!(ws.grow_events(), warm, "warm workspace reallocated");
+    }
+
+    #[test]
     fn parallel_threshold_paths_agree() {
         // exercise the rayon path (m >= 64) against the serial one
         let (m, n, k) = (80, 16, 24);
@@ -530,5 +894,124 @@ mod tests {
             }
         }
         assert_eq!(c1, c2);
+    }
+
+    fn pseudo(len: usize, mul: usize, md: usize, scale: f64) -> Vec<f64> {
+        (0..len)
+            .map(|t| ((t * mul % md) as f64) * scale - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_gemm_bit_matches_reference_at_odd_shapes() {
+        // every combination of interior/edge micro-tiles and cache blocks
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 9, 3),
+            (17, 13, 29),
+            (33, 31, 65),
+            (64, 64, 64),
+            (70, 130, 80),
+        ] {
+            let a = pseudo(m * k, 29, 17, 0.1);
+            let b = pseudo(n * k, 31, 13, 0.2);
+            let c0 = pseudo(m * n, 7, 11, 0.3);
+            let mut c_blk = c0.clone();
+            gemm_nt_f64_p(&a, &b, &mut c_blk, m, n, k, false);
+            let mut c_ref = c0.clone();
+            reference_gemm_nt_f64(&a, &b, &mut c_ref, m, n, k);
+            assert_eq!(c_blk, c_ref, "shape ({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_f32_bit_matches_reference() {
+        let (m, n, k) = (19, 23, 31);
+        let a: Vec<f32> = (0..m * k)
+            .map(|t| ((t * 29 % 17) as f32) * 0.1 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..n * k)
+            .map(|t| ((t * 31 % 13) as f32) * 0.2 - 1.0)
+            .collect();
+        let c0: Vec<f32> = (0..m * n).map(|t| ((t * 7 % 11) as f32) * 0.3).collect();
+        let mut c_blk = c0.clone();
+        gemm_nt_f32_p(&a, &b, &mut c_blk, m, n, k, false);
+        let mut c_ref = c0;
+        reference_gemm_nt_f32(&a, &b, &mut c_ref, m, n, k);
+        assert_eq!(c_blk, c_ref);
+    }
+
+    #[test]
+    fn blocked_gemm_multiblock_k_stays_accurate() {
+        // k > KC splits the accumulation; no longer bit-equal, but the
+        // result must agree to f64 roundoff.
+        let (m, n, k) = (8, 8, 2 * KC + 57);
+        let a = pseudo(m * k, 29, 97, 0.01);
+        let b = pseudo(n * k, 31, 89, 0.02);
+        let c0 = pseudo(m * n, 7, 11, 0.3);
+        let mut c_blk = c0.clone();
+        gemm_nt_f64_p(&a, &b, &mut c_blk, m, n, k, false);
+        let mut c_ref = c0;
+        reference_gemm_nt_f64(&a, &b, &mut c_ref, m, n, k);
+        for (x, y) in c_blk.iter().zip(&c_ref) {
+            assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_syrk_bit_matches_reference_and_masks_upper() {
+        for &(m, k) in &[
+            (1usize, 1usize),
+            (3, 5),
+            (4, 4),
+            (7, 9),
+            (18, 6),
+            (33, 16),
+            (66, 40),
+        ] {
+            let a = pseudo(m * k, 29, 17, 0.1);
+            let c0 = pseudo(m * m, 7, 11, 0.3);
+            let mut c_blk = c0.clone();
+            syrk_ln_f64_p(&a, m, k, &mut c_blk, false);
+            let mut c_ref = c0.clone();
+            reference_syrk_ln_f64(&a, m, k, &mut c_ref);
+            assert_eq!(c_blk, c_ref, "shape ({m},{k})");
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    assert_eq!(
+                        c_blk[i * m + j],
+                        c0[i * m + j],
+                        "upper touched at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_flag_paths_are_bit_identical() {
+        let (m, n, k) = (130, 70, 48);
+        let a = pseudo(m * k, 29, 17, 0.1);
+        let b = pseudo(n * k, 31, 13, 0.2);
+        let mut c_par = vec![1.0; m * n];
+        gemm_nt_f64_p(&a, &b, &mut c_par, m, n, k, true);
+        let mut c_seq = vec![1.0; m * n];
+        gemm_nt_f64_p(&a, &b, &mut c_seq, m, n, k, false);
+        assert_eq!(c_par, c_seq);
+
+        let mut s_par = vec![0.5; m * m];
+        syrk_ln_f64_p(&a, m, k, &mut s_par, true);
+        let mut s_seq = vec![0.5; m * m];
+        syrk_ln_f64_p(&a, m, k, &mut s_seq, false);
+        assert_eq!(s_par, s_seq);
+
+        let a0 = spd(m);
+        let mut p_par = a0.clone();
+        potrf_f64_p(&mut p_par, m, true).unwrap();
+        let mut p_seq = a0;
+        potrf_f64_p(&mut p_seq, m, false).unwrap();
+        assert_eq!(p_par, p_seq);
     }
 }

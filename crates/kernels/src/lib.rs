@@ -3,22 +3,33 @@
 //!
 //! Algorithm 1 of the paper uses four kernels: POTRF (tile Cholesky), TRSM
 //! (triangular solve), SYRK (symmetric rank-k update), GEMM (general matrix
-//! multiply). [`blas`] provides the reference implementations on raw `f64`
-//! (and `f32`) buffers; [`mp`] provides tile-level wrappers whose arithmetic
-//! follows each precision format's semantics exactly (see crate
-//! `mixedp-fp`); [`validate`] provides the error norms used by the tests and
-//! the GEMM-accuracy benchmark (paper Fig 1).
+//! multiply). [`blas`] provides cache-blocked implementations on raw `f64`
+//! (and `f32`) buffers plus the naive `reference_*` oracles they are tested
+//! against; [`mp`] provides tile-level wrappers whose arithmetic follows
+//! each precision format's semantics exactly (see crate `mixedp-fp`);
+//! [`workspace`] provides the reusable per-worker scratch that makes the
+//! tile data path allocation-free in steady state; [`validate`] provides the
+//! error norms used by the tests and the GEMM-accuracy benchmark (paper
+//! Fig 1).
 
 pub mod blas;
 pub mod mp;
 pub mod solve;
 pub mod validate;
+pub mod workspace;
 
 pub use blas::{
-    backward_solve_trans_in_place, gemm_full_f64,
-    cholesky_in_place, forward_solve_in_place, gemm_nt_f32, gemm_nt_f64, potrf_f32, potrf_f64,
-    syrk_ln_f64, trsm_rlt_f32, trsm_rlt_f64, NotSpd,
+    backward_solve_trans_in_place, cholesky_in_place, forward_solve_in_place, gemm_full_f64,
+    gemm_full_f64_p, gemm_nt_f32, gemm_nt_f32_p, gemm_nt_f64, gemm_nt_f64_p, potrf_blocked_f64,
+    potrf_blocked_f64_ws, potrf_f32, potrf_f64, potrf_f64_p, reference_gemm_nt_f32,
+    reference_gemm_nt_f64, reference_potrf_f64, reference_syrk_ln_f64, syrk_ln_f64, syrk_ln_f64_p,
+    trsm_rlt_f32, trsm_rlt_f32_p, trsm_rlt_f64, trsm_rlt_f64_p, NotSpd,
 };
-pub use mp::{gemm_tile, kernel_flops, potrf_tile, syrk_tile, trsm_effective_precision, trsm_tile, KernelKind};
+pub use mp::{
+    compute_format_index, gemm_tile, gemm_tile_ws, gemm_tile_ws_cached, kernel_flops,
+    make_compute_buf, potrf_tile, potrf_tile_ws, syrk_tile, syrk_tile_ws, trsm_effective_precision,
+    trsm_tile, trsm_tile_ws, ComputeBuf, KernelKind, N_COMPUTE_FORMATS,
+};
 pub use solve::{backward_solve_trans_tiled, forward_solve_tiled, spd_solve_tiled};
 pub use validate::{gemm_relative_error, max_rel_diff, reconstruction_error};
+pub use workspace::{with_thread_workspace, TrackedBuf, Workspace};

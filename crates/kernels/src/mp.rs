@@ -12,11 +12,27 @@
 //! * Hardware limitation (paper §V): FP16-class TRSM does not exist on
 //!   NVIDIA GPUs, so [`trsm_effective_precision`] clamps those to FP32, and
 //!   POTRF/SYRK on diagonal tiles always run FP64 (Algorithm 1 "D" prefix).
+//!
+//! # Data path
+//!
+//! Every kernel has a `*_tile_ws` form taking a caller-owned [`Workspace`]
+//! and an explicit `parallel` flag: operand staging reuses the workspace's
+//! buffers (zero steady-state heap allocations), F64-stored tiles are
+//! updated in place with no staging copy at all, and reduced-precision
+//! paths read/write `f32` directly instead of round-tripping through `f64`.
+//! The legacy allocating names delegate through a thread-local workspace.
+//!
+//! GEMM additionally accepts pre-quantized operand images ([`ComputeBuf`])
+//! so a producer can convert a tile to its compute format **once** and share
+//! the result with every consumer — the paper's single-time conversion
+//! (STC). Cached and locally-quantized operands are built by the same
+//! quantization routine, so STC never changes a single bit of the result.
 
 use crate::blas;
+use crate::workspace::{with_thread_workspace, Workspace};
 use half::f16;
 use mixedp_fp::Precision;
-use mixedp_tile::Tile;
+use mixedp_tile::{Tile, TileBuf};
 use rayon::prelude::*;
 
 /// The precision a TRSM actually executes in when the tile's kernel
@@ -28,42 +44,162 @@ pub fn trsm_effective_precision(p: Precision) -> Precision {
     }
 }
 
+/// A tile's image in a kernel input format: the unit of the paper's
+/// single-time conversion. Built once by the producing task, shared (behind
+/// an `Arc`) with every consuming GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeBuf {
+    /// f32-grid image (FP32 / TF32 / FP16_32 / BF16_32 after input
+    /// quantization — all exactly representable in binary32).
+    F32(Vec<f32>),
+    /// binary16 image (pure-FP16 GEMM).
+    F16(Vec<f16>),
+}
+
+impl ComputeBuf {
+    pub fn len(&self) -> usize {
+        match self {
+            ComputeBuf::F32(v) => v.len(),
+            ComputeBuf::F16(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes (for data-motion accounting).
+    pub fn bytes(&self) -> usize {
+        match self {
+            ComputeBuf::F32(v) => v.len() * 4,
+            ComputeBuf::F16(v) => v.len() * 2,
+        }
+    }
+}
+
+/// Number of distinct non-FP64 kernel input formats — the slot count of a
+/// per-tile compute-buffer cache.
+pub const N_COMPUTE_FORMATS: usize = 5;
+
+/// Cache-slot index of a precision's input format (`None` for FP64, which
+/// needs no conversion).
+pub fn compute_format_index(p: Precision) -> Option<usize> {
+    match p {
+        Precision::Fp64 => None,
+        Precision::Fp32 => Some(0),
+        Precision::Tf32 => Some(1),
+        Precision::Fp16x32 => Some(2),
+        Precision::Bf16x32 => Some(3),
+        Precision::Fp16 => Some(4),
+    }
+}
+
+/// Quantize a tile through `p`'s input representation into an f32 buffer
+/// (every value of every format ≤ FP32 is exactly f32 representable).
+/// Single widening per element, no intermediate allocation.
+fn quantize_into(p: Precision, t: &Tile, out: &mut Vec<f32>) {
+    out.clear();
+    match t.buf() {
+        TileBuf::F64(v) => out.extend(v.iter().map(|&x| mixedp_fp::quantize(p, x) as f32)),
+        TileBuf::F32(v) => out.extend(v.iter().map(|&x| mixedp_fp::quantize(p, x as f64) as f32)),
+        TileBuf::F16(v) => out.extend(v.iter().map(|x| mixedp_fp::quantize(p, x.to_f64()) as f32)),
+    }
+}
+
+/// Read a tile as binary16 values (the FP16 GEMM input grid).
+fn f16_into(t: &Tile, out: &mut Vec<f16>) {
+    out.clear();
+    match t.buf() {
+        TileBuf::F64(v) => out.extend(v.iter().map(|&x| f16::from_f64(x))),
+        TileBuf::F32(v) => out.extend(v.iter().map(|&x| f16::from_f64(x as f64))),
+        TileBuf::F16(v) => out.extend_from_slice(v),
+    }
+}
+
+/// Build the compute-format image of `t` for kernel precision `p`
+/// (`p ≠ Fp64`). Uses the same quantization routines as the uncached GEMM
+/// paths, so consuming a cached buffer is bit-identical to converting
+/// locally.
+pub fn make_compute_buf(p: Precision, t: &Tile) -> ComputeBuf {
+    match p {
+        Precision::Fp64 => panic!("FP64 operands are consumed directly, not via ComputeBuf"),
+        Precision::Fp16 => {
+            let mut v = Vec::with_capacity(t.len());
+            f16_into(t, &mut v);
+            ComputeBuf::F16(v)
+        }
+        _ => {
+            let mut v = Vec::with_capacity(t.len());
+            quantize_into(p, t, &mut v);
+            ComputeBuf::F32(v)
+        }
+    }
+}
+
 /// POTRF on a diagonal tile: always FP64 (Algorithm 1 `DPOTRF`).
 pub fn potrf_tile(c: &mut Tile) -> Result<(), blas::NotSpd> {
+    with_thread_workspace(|ws| potrf_tile_ws(c, ws, true))
+}
+
+/// [`potrf_tile`] on a caller-owned workspace. F64-stored tiles are
+/// factored fully in place (no staging copy); note that on a `NotSpd`
+/// failure such a tile holds the partial factorization, as with any
+/// in-place LAPACK-style POTRF.
+pub fn potrf_tile_ws(c: &mut Tile, ws: &mut Workspace, parallel: bool) -> Result<(), blas::NotSpd> {
     let n = c.rows();
     assert_eq!(n, c.cols(), "POTRF needs a square tile");
-    let mut a = c.to_f64();
-    blas::potrf_f64(&mut a, n)?;
+    if let Some(a) = c.as_mut_f64_slice() {
+        blas::potrf_f64_p(a, n, parallel)?;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                a[i * n + j] = 0.0;
+            }
+        }
+        return Ok(());
+    }
+    let a = ws.c64.load(|v| c.read_f64_into(v));
+    blas::potrf_f64_p(a, n, parallel)?;
     // Zero the strict upper triangle so the tile holds exactly L.
     for i in 0..n {
         for j in (i + 1)..n {
             a[i * n + j] = 0.0;
         }
     }
-    c.store_f64(&a);
+    c.store_f64(a);
     Ok(())
 }
 
 /// TRSM: `C_mk ← C_mk · L_kkᵀ⁻¹` at kernel precision `p` (clamped per
 /// [`trsm_effective_precision`]). `l` is the factored diagonal tile.
 pub fn trsm_tile(p: Precision, l: &Tile, b: &mut Tile) {
+    with_thread_workspace(|ws| trsm_tile_ws(p, l, b, ws, true))
+}
+
+/// [`trsm_tile`] on a caller-owned workspace. The FP32 path stages both
+/// operands directly in `f32` — no `f64` round-trip — which halves its
+/// staging traffic; the values are bit-identical to the widen-then-narrow
+/// route because every step of that route rounded at most once.
+pub fn trsm_tile_ws(p: Precision, l: &Tile, b: &mut Tile, ws: &mut Workspace, parallel: bool) {
     let n = l.rows();
     assert_eq!(n, l.cols());
     assert_eq!(b.cols(), n);
     let m = b.rows();
     match trsm_effective_precision(p) {
         Precision::Fp64 => {
-            let lf = l.to_f64();
-            let mut bf = b.to_f64();
-            blas::trsm_rlt_f64(&lf, n, &mut bf, m);
-            b.store_f64(&bf);
+            let lf = ws.a64.load(|v| l.read_f64_into(v));
+            if let Some(bf) = b.as_mut_f64_slice() {
+                blas::trsm_rlt_f64_p(lf, n, bf, m, parallel);
+            } else {
+                let bf = ws.c64.load(|v| b.read_f64_into(v));
+                blas::trsm_rlt_f64_p(lf, n, bf, m, parallel);
+                b.store_f64(bf);
+            }
         }
         _ => {
-            let lf: Vec<f32> = l.to_f64().iter().map(|&x| x as f32).collect();
-            let mut bf: Vec<f32> = b.to_f64().iter().map(|&x| x as f32).collect();
-            blas::trsm_rlt_f32(&lf, n, &mut bf, m);
-            let wide: Vec<f64> = bf.iter().map(|&x| x as f64).collect();
-            b.store_f64(&wide);
+            let lf = ws.a32.load(|v| l.read_f32_into(v));
+            let bf = ws.c32.load(|v| b.read_f32_into(v));
+            blas::trsm_rlt_f32_p(lf, n, bf, m, parallel);
+            b.write_f32(bf);
         }
     }
 }
@@ -73,65 +209,150 @@ pub fn trsm_tile(p: Precision, l: &Tile, b: &mut Tile) {
 /// widening it is lossless; the precision loss already happened when the
 /// panel was stored, which is exactly the paper's error model.
 pub fn syrk_tile(a: &Tile, c: &mut Tile) {
+    with_thread_workspace(|ws| syrk_tile_ws(a, c, ws, true))
+}
+
+/// [`syrk_tile`] on a caller-owned workspace; F64-stored `C` updates in
+/// place, and F64-stored panels are read with zero copies.
+pub fn syrk_tile_ws(a: &Tile, c: &mut Tile, ws: &mut Workspace, parallel: bool) {
     let m = c.rows();
     assert_eq!(m, c.cols());
     assert_eq!(a.rows(), m);
     let k = a.cols();
-    let af = a.to_f64();
-    let mut cf = c.to_f64();
-    blas::syrk_ln_f64(&af, m, k, &mut cf);
-    c.store_f64(&cf);
+    let af: &[f64] = match a.as_f64_slice() {
+        Some(s) => s,
+        None => ws.a64.load(|v| a.read_f64_into(v)),
+    };
+    if let Some(cf) = c.as_mut_f64_slice() {
+        blas::syrk_ln_f64_p(af, m, k, cf, parallel);
+    } else {
+        let cf = ws.c64.load(|v| c.read_f64_into(v));
+        blas::syrk_ln_f64_p(af, m, k, cf, parallel);
+        c.store_f64(cf);
+    }
 }
 
 /// GEMM: `C_mn ← C_mn − C_mk C_nkᵀ` at kernel precision `p`.
 pub fn gemm_tile(p: Precision, a: &Tile, b: &Tile, c: &mut Tile) {
+    with_thread_workspace(|ws| {
+        gemm_tile_ws(p, a, b, c, ws, true);
+    })
+}
+
+/// [`gemm_tile`] on a caller-owned workspace.
+pub fn gemm_tile_ws(
+    p: Precision,
+    a: &Tile,
+    b: &Tile,
+    c: &mut Tile,
+    ws: &mut Workspace,
+    parallel: bool,
+) {
+    gemm_tile_ws_cached(p, a, None, b, None, c, ws, parallel);
+}
+
+/// GEMM with optional producer-converted operand images (STC).
+///
+/// When `a_buf`/`b_buf` hold the operand already quantized to `p`'s input
+/// format, that conversion is skipped; otherwise the operand is quantized
+/// locally into the workspace. Returns the number of operand conversions
+/// performed *here* (0–2 for reduced-precision `p`, always 0 for FP64), so
+/// the caller can account conversions avoided vs. performed.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tile_ws_cached(
+    p: Precision,
+    a: &Tile,
+    a_buf: Option<&ComputeBuf>,
+    b: &Tile,
+    b_buf: Option<&ComputeBuf>,
+    c: &mut Tile,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> usize {
     let m = c.rows();
     let n = c.cols();
     let k = a.cols();
     assert_eq!(a.rows(), m);
     assert_eq!(b.rows(), n);
     assert_eq!(b.cols(), k);
+    let mut converted = 0;
     match p {
         Precision::Fp64 => {
-            let af = a.to_f64();
-            let bf = b.to_f64();
-            let mut cf = c.to_f64();
-            blas::gemm_nt_f64(&af, &bf, &mut cf, m, n, k);
-            c.store_f64(&cf);
+            let af: &[f64] = match a.as_f64_slice() {
+                Some(s) => s,
+                None => ws.a64.load(|v| a.read_f64_into(v)),
+            };
+            let bf: &[f64] = match b.as_f64_slice() {
+                Some(s) => s,
+                None => ws.b64.load(|v| b.read_f64_into(v)),
+            };
+            if let Some(cf) = c.as_mut_f64_slice() {
+                blas::gemm_nt_f64_p(af, bf, cf, m, n, k, parallel);
+            } else {
+                let cf = ws.c64.load(|v| c.read_f64_into(v));
+                blas::gemm_nt_f64_p(af, bf, cf, m, n, k, parallel);
+                c.store_f64(cf);
+            }
         }
-        Precision::Fp16 => gemm_tile_f16(a, b, c),
+        Precision::Fp16 => {
+            let af: &[f16] = match a_buf {
+                Some(ComputeBuf::F16(v)) if v.len() == m * k => v,
+                _ => {
+                    converted += 1;
+                    ws.a16.load(|v| f16_into(a, v))
+                }
+            };
+            let bf: &[f16] = match b_buf {
+                Some(ComputeBuf::F16(v)) if v.len() == n * k => v,
+                _ => {
+                    converted += 1;
+                    ws.b16.load(|v| f16_into(b, v))
+                }
+            };
+            let cf = ws.c16.load(|v| f16_into(c, v));
+            gemm_f16_core(af, bf, cf, m, n, k, parallel);
+            let wide = ws.c64.load(|v| {
+                v.clear();
+                v.extend(cf.iter().map(|x| x.to_f64()));
+            });
+            c.store_f64(wide);
+        }
         _ => {
             // FP32 / TF32 / FP16_32 / BF16_32: quantize inputs to the
             // format's grid, accumulate in f32.
-            let af = quantize_to_f32(p, a);
-            let bf = quantize_to_f32(p, b);
-            let mut cf: Vec<f32> = c.to_f64().iter().map(|&x| x as f32).collect();
-            blas::gemm_nt_f32(&af, &bf, &mut cf, m, n, k);
-            let wide: Vec<f64> = cf.iter().map(|&x| x as f64).collect();
-            c.store_f64(&wide);
+            let af: &[f32] = match a_buf {
+                Some(ComputeBuf::F32(v)) if v.len() == m * k => v,
+                _ => {
+                    converted += 1;
+                    ws.a32.load(|v| quantize_into(p, a, v))
+                }
+            };
+            let bf: &[f32] = match b_buf {
+                Some(ComputeBuf::F32(v)) if v.len() == n * k => v,
+                _ => {
+                    converted += 1;
+                    ws.b32.load(|v| quantize_into(p, b, v))
+                }
+            };
+            let cf = ws.c32.load(|v| c.read_f32_into(v));
+            blas::gemm_nt_f32_p(af, bf, cf, m, n, k, parallel);
+            c.write_f32(cf);
         }
     }
+    converted
 }
 
-/// Quantize a tile's values through `p`'s input representation into an f32
-/// compute buffer (every value of every format ≤ FP32 is exactly f32
-/// representable).
-fn quantize_to_f32(p: Precision, t: &Tile) -> Vec<f32> {
-    t.to_f64()
-        .iter()
-        .map(|&x| mixedp_fp::quantize(p, x) as f32)
-        .collect()
-}
-
-/// Pure-FP16 GEMM: binary16 inputs, binary16 multiply results, binary16
-/// running accumulation — per-operation rounding via `half::f16`.
-fn gemm_tile_f16(a: &Tile, b: &Tile, c: &mut Tile) {
-    let m = c.rows();
-    let n = c.cols();
-    let k = a.cols();
-    let af: Vec<f16> = a.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
-    let bf: Vec<f16> = b.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
-    let mut cf: Vec<f16> = c.to_f64().iter().map(|&x| f16::from_f64(x)).collect();
+/// Pure-FP16 GEMM core: binary16 inputs, binary16 multiply results,
+/// binary16 running accumulation — per-operation rounding via `half::f16`.
+fn gemm_f16_core(
+    af: &[f16],
+    bf: &[f16],
+    cf: &mut [f16],
+    m: usize,
+    n: usize,
+    k: usize,
+    parallel: bool,
+) {
     let body = |(i, crow): (usize, &mut [f16])| {
         let ai = &af[i * k..(i + 1) * k];
         for (j, cij) in crow.iter_mut().enumerate() {
@@ -144,13 +365,11 @@ fn gemm_tile_f16(a: &Tile, b: &Tile, c: &mut Tile) {
             *cij = acc;
         }
     };
-    if m >= 64 {
+    if parallel && m >= 64 {
         cf.par_chunks_mut(n).enumerate().for_each(body);
     } else {
         cf.chunks_mut(n).enumerate().for_each(body);
     }
-    let wide: Vec<f64> = cf.iter().map(|x| x.to_f64()).collect();
-    c.store_f64(&wide);
 }
 
 /// FP8 GEMM emulation (extension): inputs rounded through FP8 E4M3, FP32
@@ -163,12 +382,19 @@ pub fn gemm_tile_fp8(a: &Tile, b: &Tile, c: &mut Tile) {
     assert_eq!(a.rows(), m);
     assert_eq!(b.rows(), n);
     assert_eq!(b.cols(), k);
-    let af: Vec<f32> = a.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32).collect();
-    let bf: Vec<f32> = b.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32).collect();
-    let mut cf: Vec<f32> = c.to_f64().iter().map(|&x| x as f32).collect();
-    crate::blas::gemm_nt_f32(&af, &bf, &mut cf, m, n, k);
-    let wide: Vec<f64> = cf.iter().map(|&x| x as f64).collect();
-    c.store_f64(&wide);
+    with_thread_workspace(|ws| {
+        let af = ws.a32.load(|v| {
+            v.clear();
+            v.extend(a.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32));
+        });
+        let bf = ws.b32.load(|v| {
+            v.clear();
+            v.extend(b.to_f64().iter().map(|&x| mixedp_fp::round_e4m3(x) as f32));
+        });
+        let cf = ws.c32.load(|v| c.read_f32_into(v));
+        blas::gemm_nt_f32_p(af, bf, cf, m, n, k, true);
+        c.write_f32(cf);
+    });
 }
 
 /// Flop count of each Algorithm 1 kernel on `nb × nb` tiles (standard dense
@@ -246,6 +472,20 @@ mod tests {
     }
 
     #[test]
+    fn potrf_tile_reduced_storage_roundtrips() {
+        // staging path (non-F64 storage) must behave like the in-place one
+        let mut t64 = spd_tile(8);
+        let mut t32 = t64.converted_to(SP::F32);
+        potrf_tile(&mut t64).unwrap();
+        potrf_tile(&mut t32).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((t64.get(i, j) - t32.get(i, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
     fn gemm_precision_error_ladder() {
         // Relative error of reduced-precision GEMM vs FP64 must grow as the
         // format coarsens — the qualitative content of paper Fig 1.
@@ -293,6 +533,66 @@ mod tests {
                 assert_eq!(c.get(i, j), -(acc as f64), "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn cached_operands_are_bit_identical_to_local_quantization() {
+        // STC contract: a GEMM fed producer-converted buffers matches the
+        // locally-converting GEMM bit for bit, for every format class.
+        let (m, n, k) = (12, 10, 8);
+        for p in [
+            Precision::Fp32,
+            Precision::Tf32,
+            Precision::Fp16x32,
+            Precision::Bf16x32,
+            Precision::Fp16,
+        ] {
+            let a = rand_tile(m, k, 31, SP::F64);
+            let b = rand_tile(n, k, 32, SP::F32);
+            let c0 = rand_tile(m, n, 33, SP::F64);
+            let ab = make_compute_buf(p, &a);
+            let bb = make_compute_buf(p, &b);
+            let mut ws = Workspace::new();
+
+            let mut c_cached = c0.clone();
+            let conv = gemm_tile_ws_cached(
+                p,
+                &a,
+                Some(&ab),
+                &b,
+                Some(&bb),
+                &mut c_cached,
+                &mut ws,
+                false,
+            );
+            assert_eq!(conv, 0, "{p:?}: cached operands must not reconvert");
+
+            let mut c_local = c0.clone();
+            let conv = gemm_tile_ws_cached(p, &a, None, &b, None, &mut c_local, &mut ws, false);
+            assert_eq!(conv, 2, "{p:?}: uncached operands convert twice");
+
+            assert_eq!(c_cached, c_local, "{p:?}: STC changed the result");
+        }
+    }
+
+    #[test]
+    fn gemm_ws_steady_state_is_allocation_free() {
+        let (m, n, k) = (24, 24, 24);
+        let a = rand_tile(m, k, 41, SP::F64);
+        let b = rand_tile(n, k, 42, SP::F16);
+        let mut ws = Workspace::new();
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            let mut c = rand_tile(m, n, 43, SP::F32);
+            gemm_tile_ws(p, &a, &b, &mut c, &mut ws, false);
+        }
+        let warm = ws.grow_events();
+        for _ in 0..5 {
+            for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+                let mut c = rand_tile(m, n, 43, SP::F32);
+                gemm_tile_ws(p, &a, &b, &mut c, &mut ws, false);
+            }
+        }
+        assert_eq!(ws.grow_events(), warm, "warm workspace reallocated");
     }
 
     #[test]
@@ -377,5 +677,23 @@ mod tests {
         for v in c.to_f64() {
             assert_eq!(v as f32 as f64, v);
         }
+    }
+
+    #[test]
+    fn compute_format_index_covers_all_reduced_formats() {
+        let mut seen = [false; N_COMPUTE_FORMATS];
+        for p in [
+            Precision::Fp32,
+            Precision::Tf32,
+            Precision::Fp16x32,
+            Precision::Bf16x32,
+            Precision::Fp16,
+        ] {
+            let i = compute_format_index(p).unwrap();
+            assert!(!seen[i], "slot {i} reused");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(compute_format_index(Precision::Fp64), None);
     }
 }

@@ -16,7 +16,12 @@ pub fn render_gantt(trace: &ExecutionTrace, width: usize) -> String {
         let first = ((s.start_ns as f64 / w) as usize).min(width - 1);
         let last = ((s.end_ns as f64 / w) as usize).min(width - 1);
         let glyph = char::from_digit((s.task % 10) as u32, 10).unwrap();
-        for (col, slot) in rows[s.worker].iter_mut().enumerate().take(last + 1).skip(first) {
+        for (col, slot) in rows[s.worker]
+            .iter_mut()
+            .enumerate()
+            .take(last + 1)
+            .skip(first)
+        {
             let lo = col as f64 * w;
             let hi = lo + w;
             let overlap = ((s.end_ns as f64).min(hi) - (s.start_ns as f64).max(lo)).max(0.0);
@@ -44,8 +49,18 @@ mod tests {
     #[test]
     fn renders_rows_per_worker() {
         let spans = vec![
-            TaskSpan { task: 1, worker: 0, start_ns: 0, end_ns: 50 },
-            TaskSpan { task: 2, worker: 1, start_ns: 25, end_ns: 100 },
+            TaskSpan {
+                task: 1,
+                worker: 0,
+                start_ns: 0,
+                end_ns: 50,
+            },
+            TaskSpan {
+                task: 2,
+                worker: 1,
+                start_ns: 25,
+                end_ns: 100,
+            },
         ];
         let t = ExecutionTrace::new(spans, 2);
         let g = render_gantt(&t, 20);

@@ -20,5 +20,7 @@ pub mod trace;
 pub use dtd::{DataKey, DtdBuilder};
 pub use gantt::render_gantt;
 pub use graph::{TaskGraph, TaskId};
-pub use scheduler::{execute_parallel, execute_serial, ExecuteError};
+pub use scheduler::{
+    execute_parallel, execute_parallel_ctx, execute_serial, execute_serial_ctx, ExecuteError,
+};
 pub use trace::{ExecutionTrace, TaskSpan};

@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn symmetrize() {
-        let mut a = DenseMatrix::from_fn(3, 3, |i, j| if i >= j { (i + j + 1) as f64 } else { -99.0 });
+        let mut a =
+            DenseMatrix::from_fn(3, 3, |i, j| if i >= j { (i + j + 1) as f64 } else { -99.0 });
         a.symmetrize_from_lower();
         for i in 0..3 {
             for j in 0..3 {

@@ -28,10 +28,13 @@ impl Grid2d {
     pub fn squarest(nranks: usize) -> Self {
         assert!(nranks > 0);
         let mut p = (nranks as f64).sqrt() as usize;
-        while p > 1 && nranks % p != 0 {
+        while p > 1 && !nranks.is_multiple_of(p) {
             p -= 1;
         }
-        Grid2d { p: p.max(1), q: nranks / p.max(1) }
+        Grid2d {
+            p: p.max(1),
+            q: nranks / p.max(1),
+        }
     }
 
     pub fn p(&self) -> usize {
@@ -112,7 +115,7 @@ mod tests {
     #[test]
     fn rank_balance_is_even_when_nt_multiple() {
         let g = Grid2d::new(2, 3);
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for i in 0..6 {
             for j in 0..6 {
                 counts[g.rank_of(i, j)] += 1;

@@ -60,9 +60,8 @@ impl SymmTileMatrix {
     {
         assert!(n > 0 && nb > 0);
         let nt = n.div_ceil(nb);
-        let coords: Vec<(usize, usize)> = (0..nt)
-            .flat_map(|i| (0..=i).map(move |j| (i, j)))
-            .collect();
+        let coords: Vec<(usize, usize)> =
+            (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
         let tiles: Vec<Tile> = coords
             .par_iter()
             .map(|&(i, j)| {

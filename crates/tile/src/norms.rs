@@ -33,9 +33,7 @@ impl NormMap {
 /// Compute all tile norms and the global norm in parallel.
 pub fn tile_fro_norms(a: &SymmTileMatrix) -> NormMap {
     let nt = a.nt();
-    let coords: Vec<(usize, usize)> = (0..nt)
-        .flat_map(|i| (0..=i).map(move |j| (i, j)))
-        .collect();
+    let coords: Vec<(usize, usize)> = (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
     let sq: Vec<f64> = coords
         .par_iter()
         .map(|&(i, j)| a.tile(i, j).fro_norm_sq())
@@ -76,7 +74,12 @@ mod tests {
 
     #[test]
     fn global_dominates_tiles() {
-        let a = SymmTileMatrix::from_fn(8, 2, |i, j| (1 + i + j) as f64, |_, _| StoragePrecision::F64);
+        let a = SymmTileMatrix::from_fn(
+            8,
+            2,
+            |i, j| (1 + i + j) as f64,
+            |_, _| StoragePrecision::F64,
+        );
         let m = tile_fro_norms(&a);
         for i in 0..a.nt() {
             for j in 0..=i {

@@ -57,9 +57,7 @@ impl Tile {
         let buf = match storage {
             StoragePrecision::F64 => TileBuf::F64(data.to_vec()),
             StoragePrecision::F32 => TileBuf::F32(data.iter().map(|&x| x as f32).collect()),
-            StoragePrecision::F16 => {
-                TileBuf::F16(data.iter().map(|&x| f16::from_f64(x)).collect())
-            }
+            StoragePrecision::F16 => TileBuf::F16(data.iter().map(|&x| f16::from_f64(x)).collect()),
         };
         Tile { rows, cols, buf }
     }
@@ -127,6 +125,71 @@ impl Tile {
             TileBuf::F64(v) => v.clone(),
             TileBuf::F32(v) => v.iter().map(|&x| x as f64).collect(),
             TileBuf::F16(v) => v.iter().map(|x| x.to_f64()).collect(),
+        }
+    }
+
+    /// Widen the tile into a caller-owned buffer (cleared and refilled) —
+    /// the allocation-free counterpart of [`Tile::to_f64`]. The buffer's
+    /// capacity is reused across calls, so a warmed workspace performs no
+    /// heap allocation here.
+    pub fn read_f64_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        match &self.buf {
+            TileBuf::F64(v) => out.extend_from_slice(v),
+            TileBuf::F32(v) => out.extend(v.iter().map(|&x| x as f64)),
+            TileBuf::F16(v) => out.extend(v.iter().map(|x| x.to_f64())),
+        }
+    }
+
+    /// Read the tile as `f32` into a caller-owned buffer, skipping the
+    /// intermediate `f64` widening entirely. Exact for every storage
+    /// format narrower than or equal to f32; for `F64` storage this is the
+    /// single binary32 rounding the FP32 compute path prescribes (identical
+    /// to the f64 → f32 cast of the widen-then-narrow route, which rounds
+    /// only once too).
+    pub fn read_f32_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        match &self.buf {
+            TileBuf::F64(v) => out.extend(v.iter().map(|&x| x as f32)),
+            TileBuf::F32(v) => out.extend_from_slice(v),
+            TileBuf::F16(v) => out.extend(v.iter().map(|x| x.to_f32())),
+        }
+    }
+
+    /// Overwrite the tile from `f32` data without routing through `f64`.
+    /// Rounding matches `store_f64(widened)` bit-for-bit: f32 → f64 is
+    /// exact, so both routes perform one rounding into the storage format.
+    pub fn write_f32(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.len(), "tile data length mismatch");
+        match &mut self.buf {
+            TileBuf::F64(v) => {
+                for (d, &s) in v.iter_mut().zip(data) {
+                    *d = s as f64;
+                }
+            }
+            TileBuf::F32(v) => v.copy_from_slice(data),
+            TileBuf::F16(v) => {
+                for (d, &s) in v.iter_mut().zip(data) {
+                    *d = f16::from_f32(s);
+                }
+            }
+        }
+    }
+
+    /// Direct mutable access to the backing `f64` buffer, when the tile is
+    /// stored in F64 — lets kernels update in place with no copy at all.
+    pub fn as_mut_f64_slice(&mut self) -> Option<&mut [f64]> {
+        match &mut self.buf {
+            TileBuf::F64(v) => Some(v.as_mut_slice()),
+            _ => None,
+        }
+    }
+
+    /// Direct read access to the backing `f64` buffer for F64 tiles.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match &self.buf {
+            TileBuf::F64(v) => Some(v.as_slice()),
+            _ => None,
         }
     }
 
@@ -232,7 +295,11 @@ mod tests {
         let data: Vec<f64> = vec![0.5, 1.5, -2.25, 4.0];
         let t16 = Tile::from_f64(2, 2, &data, StoragePrecision::F16);
         let t64 = t16.converted_to(StoragePrecision::F64);
-        assert_eq!(t64.to_f64(), data, "exactly-representable values survive widening");
+        assert_eq!(
+            t64.to_f64(),
+            data,
+            "exactly-representable values survive widening"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release --example climate_mle [-- --n=400 --nb=64]`
 
-use mixedp::prelude::*;
 use mixedp::geostats::loglik::{ExactBackend, LoglikBackend};
+use mixedp::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

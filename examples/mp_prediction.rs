@@ -41,7 +41,11 @@ fn main() {
             ztr.push(*v);
         }
     }
-    println!("{} training sites, {} prediction sites", train.len(), test.len());
+    println!(
+        "{} training sites, {} prediction sites",
+        train.len(),
+        test.len()
+    );
 
     // estimate θ̂ through the mixed-precision backend
     let mut cfg = MleConfig::paper_defaults(3);

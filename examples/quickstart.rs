@@ -4,8 +4,8 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use mixedp::prelude::*;
 use mixedp::kernels::reconstruction_error;
+use mixedp::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

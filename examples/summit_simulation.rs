@@ -34,11 +34,7 @@ fn main() {
     ] {
         println!("--- {label} ---");
         for (sname, strategy) in [("TTC", Strategy::Ttc), ("auto (STC)", Strategy::Auto)] {
-            let rep = simulate_cholesky(
-                &pmap,
-                &cluster,
-                CholeskySimOptions { nb, strategy },
-            );
+            let rep = simulate_cholesky(&pmap, &cluster, CholeskySimOptions { nb, strategy });
             println!("  {sname:<11} {}", summarize(&rep));
         }
         println!();

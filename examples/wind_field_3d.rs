@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release --example wind_field_3d [-- --n=343]`
 
-use mixedp::prelude::*;
 use mixedp::geostats::loglik::{ExactBackend, LoglikBackend};
+use mixedp::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,7 +20,10 @@ fn main() {
     let model = SqExp::new3d();
     let mut rng = StdRng::seed_from_u64(99);
     let locs = gen_locations_3d(n, &mut rng);
-    println!("synthetic wind-speed volume at {n} sites (3D-sqexp, β = {})", theta_true[1]);
+    println!(
+        "synthetic wind-speed volume at {n} sites (3D-sqexp, β = {})",
+        theta_true[1]
+    );
     let z = generate_field(&model, &locs, &theta_true, &mut rng);
 
     // How expensive is 3D data for the adaptive map?
@@ -33,7 +36,10 @@ fn main() {
 
     let mut cfg = MleConfig::paper_defaults(2);
     cfg.optimizer.max_evals = 300;
-    println!("\n{:<10} {:>10} {:>10} {:>12}", "backend", "variance", "range", "loglik");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>12}",
+        "backend", "variance", "range", "loglik"
+    );
     let backends: Vec<Box<dyn LoglikBackend>> = vec![
         Box::new(ExactBackend),
         Box::new(backend),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verify flow: formatting, lints, build, tests, kernel perf snapshot.
+#
+# Usage: scripts/verify.sh [--no-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== kernel perf snapshot (BENCH_kernels.json)"
+    cargo run --offline --release -p mixedp-bench --bin bench_kernels
+fi
+
+echo "verify: OK"

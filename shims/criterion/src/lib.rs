@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` benchmark harness surface this
+//! workspace uses: groups, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, element throughput, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: a short warmup sizes the per-iteration cost, then
+//! `sample_size` samples are timed and the median per-iteration time is
+//! reported (median is robust to scheduler noise, which matters in shared
+//! containers). No statistical regression analysis, no HTML reports — one
+//! line per benchmark on stdout, machine-grepable:
+//! `bench: <group>/<id> ... median <t> ... [<throughput> elem/s]`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the median iteration time.
+pub struct Bencher {
+    budget: Budget,
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: discover the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if start.elapsed() >= self.budget.warmup {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Split the measurement budget into `samples` timed batches.
+        let per_sample = self.budget.measure.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_times.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        sample_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median = Duration::from_secs_f64(sample_times[sample_times.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            samples: self.sample_size,
+            median: Duration::ZERO,
+        };
+        body(&mut b);
+        self.report(&id.to_string(), b.median);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            samples: self.sample_size,
+            median: Duration::ZERO,
+        };
+        body(&mut b, input);
+        self.report(&id.id, b.median);
+        self
+    }
+
+    fn report(&self, id: &str, median: Duration) {
+        let mut line = format!("bench: {}/{id}  median {}", self.name, fmt_duration(median));
+        if let Some(t) = self.throughput {
+            let s = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.3e} elem/s", n as f64 / s));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.3e} B/s", n as f64 / s));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark registry/driver. Extra CLI arguments (as passed by
+/// `cargo bench -- <filter>`) are accepted and ignored.
+#[derive(Default)]
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(&name).sample_size(10);
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+            throughput: None,
+        };
+        g.name = name;
+        g.bench_function("", body);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion {
+            budget: Budget {
+                warmup: Duration::from_millis(2),
+                measure: Duration::from_millis(10),
+            },
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,160 @@
+//! Minimal, dependency-free stand-in for the parts of `rand` 0.8 this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over half-open numeric ranges.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors the tiny API slice it needs. The generator is
+//! xoshiro256** seeded through SplitMix64 — high-quality, deterministic,
+//! and stable across platforms (statistical tests in this repo only rely on
+//! seed-determinism and reasonable uniformity, never on the exact upstream
+//! `rand` stream).
+
+use std::ops::Range;
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, seed-from-integer only (the sole path the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling — the `gen_range` payload.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty gen_range");
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); bias is < 2^-32 for the
+                // span sizes used here, negligible for test data generation.
+                let r = rng.next_u64() % span;
+                self.start + r as $t
+            }
+        }
+    )*};
+}
+int_range!(u64, usize, u32, i64);
+
+/// User-facing convenience methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand`'s StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_spreads() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut lo_half = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let x = r.gen_range(-2.0..6.0);
+            assert!((-2.0..6.0).contains(&x));
+            if x < 2.0 {
+                lo_half += 1;
+            }
+        }
+        let frac = lo_half as f64 / N as f64;
+        assert!((frac - 0.5).abs() < 0.02, "uniformity off: {frac}");
+        for _ in 0..1000 {
+            let k: usize = r.gen_range(3usize..9);
+            assert!((3..9).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal stand-in for `rand_distr`: the `Distribution` trait and a
+//! Box–Muller `StandardNormal`, which is all the workspace samples.
+
+use rand::RngCore;
+
+/// A distribution from which values of type `T` can be drawn.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one fresh pair per draw keeps the stream stateless and
+        // deterministic per underlying-rng position.
+        let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64); // (0, 1]
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0, 1)
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Normal distribution with mean and standard deviation (unused by the core
+/// paths but part of the familiar API; kept for downstream experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if std_dev < 0.0 || !std_dev.is_finite() {
+            return Err("standard deviation must be finite and non-negative");
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        const N: usize = 50_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..N {
+            let x: f64 = StandardNormal.sample(&mut rng);
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / N as f64;
+        let var = s2 / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its public config
+//! and report types but never serializes at runtime, so the derives expand
+//! to nothing (see `serde_derive`). If a future change introduces actual
+//! serialization, replace this shim with a vendored copy of real serde.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only ever *derives* these traits to keep its public types
+//! serialization-ready; nothing serializes at runtime (there is no
+//! serde_json in the tree). Expanding to an empty token stream keeps every
+//! `#[derive(Serialize, Deserialize)]` compiling without the real serde
+//! machinery, and the `serde` attribute is registered so field/container
+//! attributes remain legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

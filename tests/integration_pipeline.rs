@@ -71,7 +71,10 @@ fn factorization_accuracy_ladder_sqexp() {
     }
     assert!(errs[0] < 1e-12, "{errs:?}");
     assert!(errs[0] <= errs[1] && errs[1] <= errs[2], "{errs:?}");
-    assert!(errs[2] < 0.1, "even the loose factorization is usable: {errs:?}");
+    assert!(
+        errs[2] < 0.1,
+        "even the loose factorization is usable: {errs:?}"
+    );
 }
 
 #[test]
@@ -88,9 +91,9 @@ fn monte_carlo_mp_matches_exact_distribution() {
         seed: 11,
         mle,
     };
-    let exact = run_monte_carlo(&model, 144, |n, rng| gen_locations_2d(n, rng), &cfg, &ExactBackend);
+    let exact = run_monte_carlo(&model, 144, gen_locations_2d, &cfg, &ExactBackend);
     let mp_backend = MpBackend::new(1e-9, 48, 1);
-    let mp = run_monte_carlo(&model, 144, |n, rng| gen_locations_2d(n, rng), &cfg, &mp_backend);
+    let mp = run_monte_carlo(&model, 144, gen_locations_2d, &cfg, &mp_backend);
     for (e, m) in exact.estimates.iter().zip(&mp.estimates) {
         for (a, b) in e.iter().zip(m) {
             assert!((a - b).abs() < 0.05, "exact {e:?} vs mp {m:?}");

@@ -13,9 +13,21 @@ fn paper_headline_shapes_single_v100() {
     let cluster = ClusterSpec::new(NodeSpec::summit().single_gpu(), 1);
     let nt = 30; // 61,440 — the paper's Fig 10 V100 size
 
-    let fp64 = simulate_cholesky(&uniform_map(nt, Precision::Fp64), &cluster, opts(Strategy::Auto));
-    let fp32 = simulate_cholesky(&uniform_map(nt, Precision::Fp32), &cluster, opts(Strategy::Auto));
-    let fp16 = simulate_cholesky(&uniform_map(nt, Precision::Fp16), &cluster, opts(Strategy::Auto));
+    let fp64 = simulate_cholesky(
+        &uniform_map(nt, Precision::Fp64),
+        &cluster,
+        opts(Strategy::Auto),
+    );
+    let fp32 = simulate_cholesky(
+        &uniform_map(nt, Precision::Fp32),
+        &cluster,
+        opts(Strategy::Auto),
+    );
+    let fp16 = simulate_cholesky(
+        &uniform_map(nt, Precision::Fp16),
+        &cluster,
+        opts(Strategy::Auto),
+    );
 
     // FP64 ≥ 84% of peak (paper Fig 8a)
     let eff64 = fp64.tflops() / 7.8;
@@ -54,12 +66,18 @@ fn multi_node_weak_scaling_grows_throughput() {
     let t1 = simulate_cholesky(
         &uniform_map(24, Precision::Fp64),
         &ClusterSpec::summit(1),
-        CholeskySimOptions { nb, strategy: Strategy::Auto },
+        CholeskySimOptions {
+            nb,
+            strategy: Strategy::Auto,
+        },
     );
     let t4 = simulate_cholesky(
         &uniform_map(38, Precision::Fp64), // ~4x the flops of NT=24
         &ClusterSpec::summit(4),
-        CholeskySimOptions { nb, strategy: Strategy::Auto },
+        CholeskySimOptions {
+            nb,
+            strategy: Strategy::Auto,
+        },
     );
     assert!(
         t4.tflops() > 2.0 * t1.tflops(),
@@ -100,7 +118,11 @@ fn deterministic_simulation() {
 #[test]
 fn occupancy_series_sane() {
     let cluster = ClusterSpec::new(NodeSpec::haxane(), 1);
-    let rep = simulate_cholesky(&uniform_map(24, Precision::Fp32), &cluster, opts(Strategy::Auto));
+    let rep = simulate_cholesky(
+        &uniform_map(24, Precision::Fp32),
+        &cluster,
+        opts(Strategy::Auto),
+    );
     let series = rep.occupancy_series(0, 20);
     assert_eq!(series.len(), 20);
     assert!(series.iter().all(|&v| (0.0..=1.0).contains(&v)));

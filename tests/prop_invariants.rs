@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn dag_structure(nt in 1usize..=14) {
         let dag = build_dag(nt);
-        let expect = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6;
+        let expect = nt + nt * (nt - 1) + nt * (nt - 1) * nt.saturating_sub(2) / 6;
         prop_assert_eq!(dag.tasks.len(), expect);
         prop_assert_eq!(dag.graph.critical_path_len(), if nt == 1 { 1 } else { 3 * (nt - 1) + 1 });
     }
