@@ -1,0 +1,220 @@
+//! Scheduler performance snapshot: emits `BENCH_scheduler.json` so changes
+//! to the task runtime can be tracked against the single-heap baseline it
+//! replaced.
+//!
+//! Measures:
+//!   * dispatch overhead (ns/task) on empty-body DAGs at 8 workers — the
+//!     work-stealing scheduler vs `execute_parallel_heap_baseline` (the
+//!     retained pre-work-stealing executor), on both a flat 1-deep graph
+//!     (pure queue contention) and the Cholesky DAG (dependency release
+//!     traffic);
+//!   * worker occupancy on the Cholesky DAG at `nt ∈ {8, 16, 32}` with
+//!     synthetic task durations proportional to the kernel cost weights,
+//!     plus the steal / park / wake / affinity counters of the run.
+//!
+//! Occupancy is compared old-vs-new at `min(workers, host CPUs)` workers:
+//! with more threads than cores, the span clock measures how often the OS
+//! preempts a thread mid-task (the baseline's `notify_all` herd keeps all
+//! threads mid-span and *looks* busier while finishing no sooner), not how
+//! well the scheduler feeds workers. The counters still come from the full
+//! `--workers` run, where stealing is actually exercised.
+//!
+//! Run: `cargo run --release -p mixedp-bench --bin bench_scheduler`
+//! Options: `--workers=8 --reps=5 --quick --out=BENCH_scheduler.json`
+
+use std::time::Instant;
+
+use mixedp_bench::Args;
+use mixedp_core::factorize::{build_dag, kernel_cost, DEFAULT_KERNEL_COSTS};
+use mixedp_runtime::{execute_parallel, execute_parallel_heap_baseline, ExecutionTrace, TaskGraph};
+
+/// Median wall-clock seconds of `reps` runs of `f` (one untimed warmup).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Busy-wait for `ns` nanoseconds (sleep granularity is far too coarse for
+/// tile-kernel-scale task bodies).
+fn spin(ns: u64) {
+    let t0 = Instant::now();
+    while t0.elapsed().as_nanos() < ns as u128 {
+        std::hint::spin_loop();
+    }
+}
+
+struct DispatchResult {
+    tasks: usize,
+    ns_worksteal: f64,
+    ns_baseline: f64,
+}
+
+/// Time both executors over an empty-body graph: all measured time is
+/// scheduler overhead (queue ops, dependency release, wake-ups).
+fn dispatch_overhead(graph: &TaskGraph, workers: usize, reps: usize) -> DispatchResult {
+    let n = graph.len();
+    let t_ws = median_secs(reps, || {
+        execute_parallel(graph, workers, |_| {}).unwrap();
+    });
+    let t_heap = median_secs(reps, || {
+        execute_parallel_heap_baseline(graph, workers, |_| {}).unwrap();
+    });
+    DispatchResult {
+        tasks: n,
+        ns_worksteal: t_ws * 1e9 / n as f64,
+        ns_baseline: t_heap * 1e9 / n as f64,
+    }
+}
+
+fn json_dispatch(r: &DispatchResult) -> String {
+    format!(
+        "{{\"tasks\": {}, \"ns_per_task_worksteal\": {:.1}, \"ns_per_task_heap_baseline\": {:.1}, \"speedup\": {:.3}}}",
+        r.tasks,
+        r.ns_worksteal,
+        r.ns_baseline,
+        r.ns_baseline / r.ns_worksteal
+    )
+}
+
+struct OccupancyResult {
+    nt: usize,
+    tasks: usize,
+    occupancy: f64,
+    occupancy_baseline: f64,
+    trace: ExecutionTrace,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let workers = args.get_usize("workers", 8);
+    let reps = args.get_usize("reps", if quick { 3 } else { 5 });
+    let out = args.get_str("out", "BENCH_scheduler.json");
+    // synthetic body duration of one cost unit (GEMM = 6 units)
+    let unit_ns = args.get_usize("unit-ns", if quick { 2_000 } else { 20_000 }) as u64;
+    let flat_tasks = args.get_usize("flat-tasks", if quick { 4_000 } else { 20_000 });
+
+    println!(
+        "scheduler bench: {workers} workers, {reps} reps{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // --- dispatch overhead: flat graph (no edges, pure queue traffic) ----
+    let mut flat = TaskGraph::with_capacity(flat_tasks);
+    for _ in 0..flat_tasks {
+        flat.add_task(vec![], 0);
+    }
+    let flat_r = dispatch_overhead(&flat, workers, reps);
+    let s = execute_parallel(&flat, workers, |_| {})
+        .unwrap()
+        .total_stats();
+    println!(
+        "flat {:>6} tasks   worksteal {:>8.1} ns/task   heap baseline {:>8.1} ns/task   ({:.2}x)   steals {} (tasks {}) failed {} parks {}",
+        flat_r.tasks,
+        flat_r.ns_worksteal,
+        flat_r.ns_baseline,
+        flat_r.ns_baseline / flat_r.ns_worksteal,
+        s.steals,
+        s.stolen_tasks,
+        s.failed_steals,
+        s.parks
+    );
+
+    // --- dispatch overhead: Cholesky DAG (dependency release traffic) ----
+    let chol_nt = args.get_usize("dispatch-nt", 24);
+    let dag = build_dag(chol_nt);
+    let chol_r = dispatch_overhead(&dag.graph, workers, reps);
+    println!(
+        "chol nt={chol_nt} {:>5} tasks   worksteal {:>8.1} ns/task   heap baseline {:>8.1} ns/task   ({:.2}x)",
+        chol_r.tasks,
+        chol_r.ns_worksteal,
+        chol_r.ns_baseline,
+        chol_r.ns_baseline / chol_r.ns_worksteal
+    );
+
+    // --- occupancy on the Cholesky DAG with cost-weighted bodies ---------
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let occ_workers = workers.min(host_cpus);
+    let mut occ_results: Vec<OccupancyResult> = Vec::new();
+    for nt in [8usize, 16, 32] {
+        let dag = build_dag(nt);
+        let costs: Vec<u64> = dag
+            .tasks
+            .iter()
+            .map(|t| kernel_cost(&DEFAULT_KERNEL_COSTS, t.kind()) as u64 * unit_ns)
+            .collect();
+        // counters from the full --workers run (stealing exercised) ...
+        execute_parallel(&dag.graph, workers, |id| spin(costs[id])).unwrap();
+        let trace = execute_parallel(&dag.graph, workers, |id| spin(costs[id])).unwrap();
+        // ... occupancy comparison at <= one worker per core
+        let occ = execute_parallel(&dag.graph, occ_workers, |id| spin(costs[id]))
+            .unwrap()
+            .occupancy();
+        let base = execute_parallel_heap_baseline(&dag.graph, occ_workers, |id| spin(costs[id]))
+            .unwrap()
+            .occupancy();
+        let s = trace.total_stats();
+        println!(
+            "occupancy nt={nt:<3} {:>5} tasks   {:>5.1}% (baseline {:>5.1}%, {occ_workers} workers)   steals {:>5} (tasks {:>5})   parks {:>4}   wakes {:>4}   affinity {:>5}",
+            dag.graph.len(),
+            100.0 * occ,
+            100.0 * base,
+            s.steals,
+            s.stolen_tasks,
+            s.parks,
+            s.wakes,
+            s.affinity_dispatches
+        );
+        occ_results.push(OccupancyResult {
+            nt,
+            tasks: dag.graph.len(),
+            occupancy: occ,
+            occupancy_baseline: base,
+            trace,
+        });
+    }
+
+    // --- JSON ------------------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workers\": {workers},\n  \"host_cpus\": {host_cpus},\n  \"occupancy_workers\": {occ_workers},\n  \"reps\": {reps},\n  \"quick\": {quick},\n  \"unit_ns\": {unit_ns},\n"
+    ));
+    json.push_str(&format!("  \"flat\": {},\n", json_dispatch(&flat_r)));
+    json.push_str(&format!(
+        "  \"cholesky_dispatch\": {{\"nt\": {chol_nt}, {}}},\n",
+        json_dispatch(&chol_r)
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+    ));
+    json.push_str("  \"occupancy\": [\n");
+    for (i, r) in occ_results.iter().enumerate() {
+        let s = r.trace.total_stats();
+        let comma = if i + 1 == occ_results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"nt\": {}, \"tasks\": {}, \"occupancy\": {:.4}, \"occupancy_heap_baseline\": {:.4}, \"steals\": {}, \"stolen_tasks\": {}, \"failed_steals\": {}, \"local_pops\": {}, \"parks\": {}, \"wakes\": {}, \"affinity_dispatches\": {}}}{}\n",
+            r.nt,
+            r.tasks,
+            r.occupancy,
+            r.occupancy_baseline,
+            s.steals,
+            s.stolen_tasks,
+            s.failed_steals,
+            s.local_pops,
+            s.parks,
+            s.wakes,
+            s.affinity_dispatches,
+            comma
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_scheduler.json");
+    println!("wrote {out}");
+}

@@ -46,11 +46,46 @@ pub struct CholeskyDag {
     pub tasks: Vec<CholeskyTask>,
 }
 
-/// Build the Algorithm 1 DAG for `nt × nt` tiles. Priorities follow the
-/// panel-first policy PaRSEC uses for tile Cholesky: everything in
-/// iteration `k` outranks iteration `k+1`, and within an iteration
-/// POTRF > TRSM > SYRK > GEMM.
+/// Relative cost of one kernel instance, indexed by
+/// `[POTRF, TRSM, SYRK, GEMM]` — the weights of the critical-path pass.
+pub type KernelCosts = [i64; 4];
+
+/// Default weights: tile-kernel flop counts in units of `nb³/3`
+/// (POTRF `nb³/3`, TRSM `nb³`, SYRK `nb³`, GEMM `2nb³`).
+pub const DEFAULT_KERNEL_COSTS: KernelCosts = [1, 3, 3, 6];
+
+/// Cost of `kind` under `costs`.
+pub fn kernel_cost(costs: &KernelCosts, kind: KernelKind) -> i64 {
+    match kind {
+        KernelKind::Potrf => costs[0],
+        KernelKind::Trsm => costs[1],
+        KernelKind::Syrk => costs[2],
+        KernelKind::Gemm => costs[3],
+    }
+}
+
+/// Build the Algorithm 1 DAG for `nt × nt` tiles with the default kernel
+/// cost weights (see [`build_dag_with_costs`]).
 pub fn build_dag(nt: usize) -> CholeskyDag {
+    build_dag_with_costs(nt, &DEFAULT_KERNEL_COSTS)
+}
+
+/// Build the Algorithm 1 DAG for `nt × nt` tiles.
+///
+/// Task priorities are the DAG's *weighted critical-path lengths*
+/// ([`TaskGraph::critical_path_lengths`]) under the caller-supplied
+/// per-kernel cost weights: a ready task outranks another exactly when
+/// the chain of work its completion unlocks is longer. This subsumes the
+/// old static panel-first heuristic — POTRF/TRSM of iteration `k` sit on
+/// longer remaining chains than iteration `k+1` trailing updates, so the
+/// panel ordering emerges from the weights — while also ranking *within*
+/// a class (e.g. the GEMMs feeding the next panel column outrank GEMMs of
+/// far-future columns).
+///
+/// Each in-place update also carries an affinity hint naming the previous
+/// writer of its output tile, so the work-stealing scheduler dispatches it
+/// to the worker whose cache is hot.
+pub fn build_dag_with_costs(nt: usize, costs: &KernelCosts) -> CholeskyDag {
     let mut graph = TaskGraph::with_capacity(nt * nt * nt / 6 + nt * nt);
     let mut tasks = Vec::new();
     // last writer of each tile (lower-packed)
@@ -59,25 +94,25 @@ pub fn build_dag(nt: usize) -> CholeskyDag {
     // the task that finalized panel tile (m, k) (its TRSM), for reader deps
     let mut trsm_of: Vec<Option<TaskId>> = vec![None; nt * (nt + 1) / 2];
 
-    let prio = |k: usize, class: i64| ((nt - k) as i64) * 10 + class;
-
     for k in 0..nt {
         // POTRF(k, k)
         let mut deps = Vec::new();
-        if let Some(w) = last_write[idx(k, k)] {
+        let prev = last_write[idx(k, k)];
+        if let Some(w) = prev {
             deps.push(w);
         }
-        let potrf = graph.add_task(deps, prio(k, 3));
+        let potrf = graph.add_task_with_affinity(deps, 0, prev);
         tasks.push(CholeskyTask::Potrf { k });
         last_write[idx(k, k)] = Some(potrf);
 
         for m in (k + 1)..nt {
             // TRSM(m, k): reads L(k,k), updates (m,k) in place
             let mut deps = vec![potrf];
-            if let Some(w) = last_write[idx(m, k)] {
+            let prev = last_write[idx(m, k)];
+            if let Some(w) = prev {
                 deps.push(w);
             }
-            let trsm = graph.add_task(deps, prio(k, 2));
+            let trsm = graph.add_task_with_affinity(deps, 0, prev);
             tasks.push(CholeskyTask::Trsm { m, k });
             last_write[idx(m, k)] = Some(trsm);
             trsm_of[idx(m, k)] = Some(trsm);
@@ -85,25 +120,30 @@ pub fn build_dag(nt: usize) -> CholeskyDag {
         for m in (k + 1)..nt {
             // SYRK(m, k): reads (m,k), updates (m,m)
             let mut deps = vec![trsm_of[idx(m, k)].unwrap()];
-            if let Some(w) = last_write[idx(m, m)] {
+            let prev = last_write[idx(m, m)];
+            if let Some(w) = prev {
                 deps.push(w);
             }
-            let syrk = graph.add_task(deps, prio(k, 1));
+            let syrk = graph.add_task_with_affinity(deps, 0, prev);
             tasks.push(CholeskyTask::Syrk { m, k });
             last_write[idx(m, m)] = Some(syrk);
 
             // GEMM(m, n, k) for n in k+1..m: reads (m,k), (n,k); updates (m,n)
             for n in (k + 1)..m {
                 let mut deps = vec![trsm_of[idx(m, k)].unwrap(), trsm_of[idx(n, k)].unwrap()];
-                if let Some(w) = last_write[idx(m, n)] {
+                let prev = last_write[idx(m, n)];
+                if let Some(w) = prev {
                     deps.push(w);
                 }
-                let gemm = graph.add_task(deps, prio(k, 0));
+                let gemm = graph.add_task_with_affinity(deps, 0, prev);
                 tasks.push(CholeskyTask::Gemm { m, n, k });
                 last_write[idx(m, n)] = Some(gemm);
             }
         }
     }
+    // Critical-path priorities: the weighted longest chain below each task.
+    let cp = graph.critical_path_lengths(|id| kernel_cost(costs, tasks[id].kind()));
+    graph.set_priorities(&cp);
     CholeskyDag { graph, tasks }
 }
 
@@ -382,6 +422,66 @@ mod tests {
             assert_eq!(dag.tasks.len(), expect, "nt={nt}");
             assert_eq!(dag.graph.len(), expect);
         }
+    }
+
+    #[test]
+    fn critical_path_priorities_decrease_along_edges() {
+        // cp[parent] = cost(parent) + max(cp[dependents]) with positive
+        // costs, so every task strictly outranks each of its dependents —
+        // the invariant that makes priority order respect the DAG depth.
+        let dag = build_dag(6);
+        for (id, node) in dag.graph.iter() {
+            for &d in &node.deps {
+                assert!(
+                    dag.graph.node(d).priority > node.priority,
+                    "dep {d} must outrank task {id}"
+                );
+            }
+        }
+        // The root POTRF(0,0) heads the longest chain of the whole DAG.
+        let max = dag.graph.iter().map(|(_, n)| n.priority).max().unwrap();
+        assert_eq!(dag.graph.node(0).priority, max);
+        assert!(matches!(dag.tasks[0], CholeskyTask::Potrf { k: 0 }));
+    }
+
+    #[test]
+    fn affinity_hints_name_previous_writer_of_output_tile() {
+        let nt = 5;
+        let dag = build_dag(nt);
+        let find = |want: CholeskyTask| dag.tasks.iter().position(|t| *t == want).unwrap();
+        // First iteration writes are first-touch: no previous writer.
+        assert_eq!(
+            dag.graph.node(find(CholeskyTask::Potrf { k: 0 })).affinity,
+            None
+        );
+        assert_eq!(
+            dag.graph
+                .node(find(CholeskyTask::Trsm { m: 2, k: 0 }))
+                .affinity,
+            None
+        );
+        // POTRF(1,1) updates (1,1) in place after SYRK(1,1)<-(1,0).
+        let syrk = find(CholeskyTask::Syrk { m: 1, k: 0 });
+        assert_eq!(
+            dag.graph.node(find(CholeskyTask::Potrf { k: 1 })).affinity,
+            Some(syrk)
+        );
+        // TRSM(m,1) updates (m,1) last written by GEMM(m,1,0).
+        let gemm = find(CholeskyTask::Gemm { m: 3, n: 1, k: 0 });
+        assert_eq!(
+            dag.graph
+                .node(find(CholeskyTask::Trsm { m: 3, k: 1 }))
+                .affinity,
+            Some(gemm)
+        );
+        // GEMM(m,n,1) updates (m,n) last written by GEMM(m,n,0).
+        let g0 = find(CholeskyTask::Gemm { m: 4, n: 2, k: 0 });
+        assert_eq!(
+            dag.graph
+                .node(find(CholeskyTask::Gemm { m: 4, n: 2, k: 1 }))
+                .affinity,
+            Some(g0)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use crate::factorize::factorize_mp;
 use crate::precision_map::PrecisionMap;
 use mixedp_fp::Precision;
-use mixedp_geostats::covariance::covariance_entry;
+use mixedp_geostats::assemble::covariance_tiles;
 use mixedp_geostats::loglik::{assemble_loglik, LoglikBackend};
 use mixedp_geostats::{CovarianceModel, Location};
 use mixedp_kernels::blas;
@@ -57,13 +57,10 @@ impl MpBackend {
     ) -> SymmTileMatrix {
         // Generate in FP64 first (needed for the norms that drive the map);
         // the map's storage precisions are applied to the tiles afterwards,
-        // exactly as the paper's matrix-generation phase does (§V).
-        SymmTileMatrix::from_fn(
-            locs.len(),
-            self.nb,
-            |i, j| covariance_entry(model, locs, i, j, theta),
-            |_, _| mixedp_fp::StoragePrecision::F64,
-        )
+        // exactly as the paper's matrix-generation phase does (§V). Tile
+        // generation runs on the same worker pool as the factorization and
+        // is bit-identical at any thread count.
+        covariance_tiles(model, locs, theta, self.nb, self.threads)
     }
 }
 

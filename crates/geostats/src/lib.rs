@@ -13,6 +13,7 @@
 //! with a bound-constrained derivative-free optimizer (a from-scratch
 //! substitute for NLOPT's BOBYQA — see DESIGN.md).
 
+pub mod assemble;
 pub mod bessel;
 pub mod boxplot;
 pub mod covariance;
@@ -25,6 +26,7 @@ pub mod optimizer;
 pub mod predict;
 pub mod variogram;
 
+pub use assemble::covariance_tiles;
 pub use bessel::bessel_k;
 pub use boxplot::BoxplotStats;
 pub use covariance::{CovarianceModel, Matern2d, PowExp, SqExp};

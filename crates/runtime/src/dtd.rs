@@ -40,6 +40,10 @@ impl DtdBuilder {
     /// Insert a task that reads `reads` and writes (or updates in place)
     /// `writes`. Returns the task id. A key may appear in both lists
     /// (read-modify-write); listing it under `writes` is sufficient.
+    ///
+    /// The previous writer of the task's *first* written datum becomes its
+    /// affinity hint: an in-place update is dispatched to the worker whose
+    /// cache last wrote the datum (see `TaskNode::affinity`).
     pub fn insert_task(&mut self, reads: &[DataKey], writes: &[DataKey], priority: i64) -> TaskId {
         let mut deps: Vec<TaskId> = Vec::new();
         for r in reads {
@@ -49,17 +53,21 @@ impl DtdBuilder {
                 }
             }
         }
+        let mut affinity = None;
         for w in writes {
             if let Some(st) = self.data.get(w) {
                 if let Some(prev) = st.last_writer {
                     deps.push(prev);
+                    if affinity.is_none() {
+                        affinity = Some(prev);
+                    }
                 }
                 deps.extend_from_slice(&st.readers_since_write);
             }
         }
         deps.sort_unstable();
         deps.dedup();
-        let id = self.graph.add_task(deps, priority);
+        let id = self.graph.add_task_with_affinity(deps, priority, affinity);
         for r in reads {
             let st = self.data.entry(*r).or_default();
             st.readers_since_write.push(id);
@@ -116,6 +124,10 @@ mod tests {
         let g = b.build();
         assert_eq!(g.node(t1).deps, vec![t0]);
         assert_eq!(g.node(t2).deps, vec![t1]);
+        // in-place updates inherit the previous writer as affinity hint
+        assert_eq!(g.node(t0).affinity, None);
+        assert_eq!(g.node(t1).affinity, Some(t0));
+        assert_eq!(g.node(t2).affinity, Some(t1));
     }
 
     /// Insert the tile Cholesky in sequential program order (Algorithm 1's

@@ -41,6 +41,20 @@ pub fn render_gantt(trace: &ExecutionTrace, width: usize) -> String {
     out
 }
 
+/// [`render_gantt`] plus a per-worker scheduler-counter footer (tasks run,
+/// local pops vs stolen tasks, steal operations, parks, wake-ups issued) —
+/// the work-stealing behavior that the span rows alone cannot show.
+pub fn render_gantt_with_stats(trace: &ExecutionTrace, width: usize) -> String {
+    let mut out = render_gantt(trace, width);
+    for (widx, s) in trace.worker_stats().iter().enumerate() {
+        out.push_str(&format!(
+            "w{widx}  tasks {:>5}  local {:>5}  stolen {:>4} ({} steals)  parks {:>3}  wakes {:>3}\n",
+            s.tasks, s.local_pops, s.stolen_tasks, s.steals, s.parks, s.wakes
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +92,27 @@ mod tests {
         let t = ExecutionTrace::new(vec![], 1);
         let g = render_gantt(&t, 8);
         assert_eq!(g, "w0 |········|\n");
+    }
+
+    #[test]
+    fn stats_footer_lists_counters() {
+        use crate::trace::WorkerStats;
+        let spans = vec![TaskSpan {
+            task: 0,
+            worker: 0,
+            start_ns: 0,
+            end_ns: 10,
+        }];
+        let stats = vec![WorkerStats {
+            tasks: 1,
+            local_pops: 1,
+            ..Default::default()
+        }];
+        let t = ExecutionTrace::with_worker_stats(spans, 1, stats);
+        let g = render_gantt_with_stats(&t, 8);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("tasks"));
+        assert!(lines[1].contains("stolen"));
     }
 }

@@ -3,12 +3,18 @@
 /// Index of a task within its [`TaskGraph`].
 pub type TaskId = usize;
 
-/// One task: its dependencies (tasks that must complete first) and a
-/// scheduling priority (higher runs earlier among ready tasks).
+/// One task: its dependencies (tasks that must complete first), a
+/// scheduling priority (higher runs earlier among ready tasks), and an
+/// optional *affinity hint* — the dependency whose data this task will
+/// touch hardest (typically the previous writer of its in-place output).
+/// The work-stealing scheduler dispatches the task to the worker that ran
+/// the affinity dependency, so the successor of an in-place tile update
+/// lands on the core whose cache still holds the tile.
 #[derive(Debug, Clone)]
 pub struct TaskNode {
     pub deps: Vec<TaskId>,
     pub priority: i64,
+    pub affinity: Option<TaskId>,
 }
 
 /// A directed acyclic graph of tasks.
@@ -37,11 +43,38 @@ impl TaskGraph {
     /// # Panics
     /// Panics if any dependency is not an already-added task.
     pub fn add_task(&mut self, deps: Vec<TaskId>, priority: i64) -> TaskId {
+        self.add_task_with_affinity(deps, priority, None)
+    }
+
+    /// Add a task with a locality hint: `affinity` names the dependency
+    /// whose executing worker should preferentially run this task.
+    ///
+    /// # Panics
+    /// Panics if any dependency — or the affinity hint — is not an
+    /// already-added task, or if the hint is not among `deps` (the hint's
+    /// completion must be what makes the data hot *and* guarantees its
+    /// worker id is known by the time this task becomes ready).
+    pub fn add_task_with_affinity(
+        &mut self,
+        deps: Vec<TaskId>,
+        priority: i64,
+        affinity: Option<TaskId>,
+    ) -> TaskId {
         let id = self.nodes.len();
         for &d in &deps {
             assert!(d < id, "dependency {d} of task {id} not yet defined");
         }
-        self.nodes.push(TaskNode { deps, priority });
+        if let Some(a) = affinity {
+            assert!(
+                deps.contains(&a),
+                "affinity {a} of task {id} is not one of its dependencies"
+            );
+        }
+        self.nodes.push(TaskNode {
+            deps,
+            priority,
+            affinity,
+        });
         id
     }
 
@@ -55,6 +88,19 @@ impl TaskGraph {
 
     pub fn node(&self, id: TaskId) -> &TaskNode {
         &self.nodes[id]
+    }
+
+    /// Overwrite one task's scheduling priority.
+    pub fn set_priority(&mut self, id: TaskId, priority: i64) {
+        self.nodes[id].priority = priority;
+    }
+
+    /// Overwrite every task's priority (length must match).
+    pub fn set_priorities(&mut self, priorities: &[i64]) {
+        assert_eq!(priorities.len(), self.nodes.len());
+        for (n, &p) in self.nodes.iter_mut().zip(priorities) {
+            n.priority = p;
+        }
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (TaskId, &TaskNode)> {
@@ -89,6 +135,27 @@ impl TaskGraph {
         }
         best
     }
+
+    /// Weighted critical-path length of every task: `cp[t]` is the largest
+    /// total cost of any dependency chain from `t` (inclusive) to a sink,
+    /// with per-task costs supplied by `cost`. Scheduling ready tasks by
+    /// descending `cp` is the classic critical-path-first policy: the task
+    /// whose completion unlocks the longest remaining chain runs first.
+    ///
+    /// Costs must be non-negative; `O(V + E)` over the reverse adjacency.
+    pub fn critical_path_lengths(&self, mut cost: impl FnMut(TaskId) -> i64) -> Vec<i64> {
+        let dependents = self.dependents();
+        let mut cp = vec![0i64; self.nodes.len()];
+        // Dependents always have larger ids (deps point backwards), so one
+        // reverse sweep sees every dependent before its dependency.
+        for id in (0..self.nodes.len()).rev() {
+            let c = cost(id);
+            debug_assert!(c >= 0, "negative task cost for {id}");
+            let downstream = dependents[id].iter().map(|&d| cp[d]).max().unwrap_or(0);
+            cp[id] = c + downstream;
+        }
+        cp
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +183,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn affinity_outside_deps_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 0);
+        g.add_task_with_affinity(vec![b], 0, Some(a));
+    }
+
+    #[test]
+    fn affinity_recorded() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task_with_affinity(vec![a], 0, Some(a));
+        assert_eq!(g.node(b).affinity, Some(a));
+        assert_eq!(g.node(a).affinity, None);
+    }
+
+    #[test]
     fn diamond_critical_path() {
         let mut g = TaskGraph::new();
         let a = g.add_task(vec![], 0);
@@ -130,5 +215,51 @@ mod tests {
         let g = TaskGraph::new();
         assert!(g.is_empty());
         assert_eq!(g.critical_path_len(), 0);
+        assert!(g.critical_path_lengths(|_| 1).is_empty());
+    }
+
+    #[test]
+    fn weighted_critical_path_unit_costs_match_depth() {
+        // With unit costs, cp[source of the longest chain] equals the
+        // task-count critical path.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 0);
+        let c = g.add_task(vec![a], 0);
+        let d = g.add_task(vec![b, c], 0);
+        let _e = g.add_task(vec![d], 0);
+        let cp = g.critical_path_lengths(|_| 1);
+        assert_eq!(cp[a], g.critical_path_len() as i64);
+        assert_eq!(cp, vec![4, 3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn weighted_critical_path_steers_through_heavy_branch() {
+        // a → b(cost 10) → d ; a → c(cost 1) → d : the heavy branch
+        // dominates a's critical path, and b outranks c.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 0);
+        let c = g.add_task(vec![a], 0);
+        let d = g.add_task(vec![b, c], 0);
+        let costs = [1i64, 10, 1, 1];
+        let cp = g.critical_path_lengths(|id| costs[id]);
+        assert_eq!(cp[d], 1);
+        assert_eq!(cp[b], 11);
+        assert_eq!(cp[c], 2);
+        assert_eq!(cp[a], 12);
+        assert!(cp[b] > cp[c]);
+    }
+
+    #[test]
+    fn set_priorities_applies() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(vec![], 0);
+        let b = g.add_task(vec![a], 0);
+        g.set_priority(a, 7);
+        assert_eq!(g.node(a).priority, 7);
+        g.set_priorities(&[1, 2]);
+        assert_eq!(g.node(a).priority, 1);
+        assert_eq!(g.node(b).priority, 2);
     }
 }

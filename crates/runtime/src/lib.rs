@@ -3,13 +3,15 @@
 //!
 //! Algorithms are expressed as directed acyclic graphs ([`graph::TaskGraph`])
 //! whose vertices are tasks and whose edges are dependencies. The
-//! [`scheduler`] executes a graph over a pool of worker threads: a task
-//! fires as soon as its dependencies are satisfied (asynchronous,
-//! dependency-driven execution, not a predefined order), with a priority
-//! queue steering workers toward critical-path tasks first — mirroring
-//! PaRSEC's panel-first scheduling for tile Cholesky. [`trace`] records
-//! per-task begin/end intervals for occupancy and Gantt-style analysis
-//! (paper Figs 3, 9).
+//! [`scheduler`] executes a graph over a pool of worker threads with a
+//! work-stealing design: per-worker priority deques, steal-half victim
+//! rotation, targeted single-worker wake-ups, locality-aware dispatch via
+//! per-task affinity hints, and critical-path-derived priorities
+//! ([`graph::TaskGraph::critical_path_lengths`]) steering workers toward
+//! the longest remaining dependency chain first — the scheduling quality
+//! PaRSEC's runtime provides for tile Cholesky. [`trace`] records per-task
+//! begin/end intervals plus per-worker steal/idle/wake counters for
+//! occupancy and Gantt-style analysis (paper Figs 3, 9).
 
 pub mod dtd;
 pub mod gantt;
@@ -18,9 +20,10 @@ pub mod scheduler;
 pub mod trace;
 
 pub use dtd::{DataKey, DtdBuilder};
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, render_gantt_with_stats};
 pub use graph::{TaskGraph, TaskId};
 pub use scheduler::{
-    execute_parallel, execute_parallel_ctx, execute_serial, execute_serial_ctx, ExecuteError,
+    execute_parallel, execute_parallel_ctx, execute_parallel_heap_baseline, execute_serial,
+    execute_serial_ctx, ExecuteError,
 };
-pub use trace::{ExecutionTrace, TaskSpan};
+pub use trace::{ExecutionTrace, TaskSpan, WorkerStats};

@@ -17,16 +17,73 @@ impl TaskSpan {
     }
 }
 
+/// Per-worker scheduler counters: where each worker's tasks came from and
+/// how often it went idle — the observability layer for the work-stealing
+/// scheduler (dispatch quality is invisible in task spans alone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Tasks popped from the worker's own queue.
+    pub local_pops: u64,
+    /// Successful steal operations (each grabs up to half a victim's queue).
+    pub steals: u64,
+    /// Tasks obtained through stealing.
+    pub stolen_tasks: u64,
+    /// Full victim sweeps that found nothing to steal.
+    pub failed_steals: u64,
+    /// Times the worker registered idle and parked.
+    pub parks: u64,
+    /// Targeted wake-ups this worker issued to idle peers.
+    pub wakes: u64,
+    /// Ready tasks this worker dispatched to another worker's queue
+    /// because of an affinity hint.
+    pub affinity_dispatches: u64,
+}
+
+impl WorkerStats {
+    /// Merge another worker's counters into this one (fleet totals).
+    pub fn accumulate(&mut self, o: &WorkerStats) {
+        self.tasks += o.tasks;
+        self.local_pops += o.local_pops;
+        self.steals += o.steals;
+        self.stolen_tasks += o.stolen_tasks;
+        self.failed_steals += o.failed_steals;
+        self.parks += o.parks;
+        self.wakes += o.wakes;
+        self.affinity_dispatches += o.affinity_dispatches;
+    }
+}
+
 /// The full trace of a parallel execution.
 #[derive(Debug, Clone)]
 pub struct ExecutionTrace {
     spans: Vec<TaskSpan>,
     nworkers: usize,
+    worker_stats: Vec<WorkerStats>,
 }
 
 impl ExecutionTrace {
     pub fn new(spans: Vec<TaskSpan>, nworkers: usize) -> Self {
-        ExecutionTrace { spans, nworkers }
+        ExecutionTrace {
+            spans,
+            nworkers,
+            worker_stats: Vec::new(),
+        }
+    }
+
+    /// Trace plus the per-worker scheduler counters recorded during the run.
+    pub fn with_worker_stats(
+        spans: Vec<TaskSpan>,
+        nworkers: usize,
+        worker_stats: Vec<WorkerStats>,
+    ) -> Self {
+        assert!(worker_stats.is_empty() || worker_stats.len() == nworkers);
+        ExecutionTrace {
+            spans,
+            nworkers,
+            worker_stats,
+        }
     }
 
     pub fn spans(&self) -> &[TaskSpan] {
@@ -35,6 +92,21 @@ impl ExecutionTrace {
 
     pub fn nworkers(&self) -> usize {
         self.nworkers
+    }
+
+    /// Per-worker scheduler counters (empty for traces built without them,
+    /// e.g. hand-assembled test traces).
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.worker_stats
+    }
+
+    /// Sum of all workers' counters.
+    pub fn total_stats(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for s in &self.worker_stats {
+            t.accumulate(s);
+        }
+        t
     }
 
     /// Wall-clock makespan in nanoseconds.
@@ -107,6 +179,33 @@ mod tests {
         let t = ExecutionTrace::new(vec![], 4);
         assert_eq!(t.makespan_ns(), 0);
         assert_eq!(t.occupancy(), 0.0);
+        assert!(t.worker_stats().is_empty());
+        assert_eq!(t.total_stats(), WorkerStats::default());
+    }
+
+    #[test]
+    fn worker_stats_accumulate() {
+        let a = WorkerStats {
+            tasks: 3,
+            local_pops: 2,
+            steals: 1,
+            stolen_tasks: 1,
+            failed_steals: 4,
+            parks: 2,
+            wakes: 1,
+            affinity_dispatches: 1,
+        };
+        let b = WorkerStats {
+            tasks: 1,
+            stolen_tasks: 1,
+            ..Default::default()
+        };
+        let t = ExecutionTrace::with_worker_stats(vec![], 2, vec![a, b]);
+        let tot = t.total_stats();
+        assert_eq!(tot.tasks, 4);
+        assert_eq!(tot.stolen_tasks, 2);
+        assert_eq!(tot.failed_steals, 4);
+        assert_eq!(t.worker_stats().len(), 2);
     }
 
     #[test]

@@ -79,6 +79,34 @@ impl SymmTileMatrix {
         SymmTileMatrix { n, nb, nt, tiles }
     }
 
+    /// Assemble from pre-built tiles in lower-packed order (tile `(i, j)`
+    /// at index `i(i+1)/2 + j`) — the constructor for callers that
+    /// generate tiles out-of-place in parallel (e.g. through the task
+    /// runtime) and hand the finished pieces over.
+    ///
+    /// # Panics
+    /// Panics if the tile count or any tile's dimensions do not match the
+    /// `n`/`nb` partition.
+    pub fn from_tiles(n: usize, nb: usize, tiles: Vec<Tile>) -> Self {
+        assert!(n > 0 && nb > 0);
+        let nt = n.div_ceil(nb);
+        assert_eq!(tiles.len(), nt * (nt + 1) / 2, "tile count mismatch");
+        let mut it = tiles.iter();
+        for i in 0..nt {
+            for j in 0..=i {
+                let t = it.next().unwrap();
+                let r = (n - i * nb).min(nb);
+                let c = (n - j * nb).min(nb);
+                assert_eq!(
+                    (t.rows(), t.cols()),
+                    (r, c),
+                    "tile ({i},{j}) has wrong shape"
+                );
+            }
+        }
+        SymmTileMatrix { n, nb, nt, tiles }
+    }
+
     /// Build from a dense symmetric matrix (reads the lower triangle).
     pub fn from_dense(a: &DenseMatrix, nb: usize, storage: StoragePrecision) -> Self {
         assert_eq!(a.rows(), a.cols());
@@ -238,6 +266,27 @@ mod tests {
                 assert_eq!(a.get(i, j), a.get(j, i));
             }
         }
+    }
+
+    #[test]
+    fn from_tiles_roundtrip() {
+        let a = sample(10, 4); // includes ragged trailing tiles
+        let tiles: Vec<Tile> = a.iter_lower().map(|(_, _, t)| t.clone()).collect();
+        let b = SymmTileMatrix::from_tiles(10, 4, tiles);
+        for i in 0..10 {
+            for j in 0..=i {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_tiles_wrong_count_panics() {
+        let a = sample(10, 4);
+        let mut tiles: Vec<Tile> = a.iter_lower().map(|(_, _, t)| t.clone()).collect();
+        tiles.pop();
+        let _ = SymmTileMatrix::from_tiles(10, 4, tiles);
     }
 
     #[test]

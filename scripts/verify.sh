@@ -17,9 +17,14 @@ cargo build --offline --release --workspace
 echo "== cargo test"
 cargo test --offline --workspace -q
 
+echo "== scheduler property tests (release: steal races at full speed)"
+cargo test --offline -q --release -p mixedp-runtime
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== kernel perf snapshot (BENCH_kernels.json)"
     cargo run --offline --release -p mixedp-bench --bin bench_kernels
+    echo "== scheduler perf snapshot (BENCH_scheduler.json, quick)"
+    cargo run --offline --release -p mixedp-bench --bin bench_scheduler -- --quick
 fi
 
 echo "verify: OK"
