@@ -84,6 +84,20 @@ fn json_dispatch(r: &DispatchResult) -> String {
     )
 }
 
+/// Pull `"ns_per_task_worksteal": <x>` out of the `section` object of a
+/// previously committed benchmark JSON. The file is machine-written by this
+/// binary, so a string scan is exact (no JSON parser in-tree by design).
+fn baseline_ns(json: &str, section: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let rest = &json[sec..];
+    let key = "\"ns_per_task_worksteal\": ";
+    let rest = &rest[rest.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 struct OccupancyResult {
     nt: usize,
     tasks: usize,
@@ -140,6 +154,32 @@ fn main() {
         chol_r.ns_baseline / chol_r.ns_worksteal
     );
 
+    // --- fault-tolerance wrapper overhead vs the committed snapshot ------
+    // PR 3 wrapped every task body in catch_unwind + a fault-plan probe
+    // (one `is_noop` branch when no faults are configured). The fault-free
+    // dispatch path must stay within noise of the committed pre-run
+    // numbers; report the delta so regressions are visible in the JSON.
+    let committed = std::fs::read_to_string(&out).ok();
+    let ft_overhead = committed.as_deref().and_then(|b| {
+        // only comparable against a same-config snapshot: quick vs full
+        // differ in task counts and unit durations
+        if !b.contains(&format!("\"quick\": {quick}"))
+            || !b.contains(&format!("\"tasks\": {}", flat_r.tasks))
+        {
+            println!("ft wrapper overhead: committed {out} used a different config; skipping");
+            return None;
+        }
+        let flat_base = baseline_ns(b, "flat")?;
+        let chol_base = baseline_ns(b, "cholesky_dispatch")?;
+        let flat_pct = 100.0 * (flat_r.ns_worksteal - flat_base) / flat_base;
+        let chol_pct = 100.0 * (chol_r.ns_worksteal - chol_base) / chol_base;
+        println!(
+            "ft wrapper overhead vs committed {out}: flat {flat_pct:+.2}% ({flat_base:.1} -> {:.1} ns/task), chol {chol_pct:+.2}% ({chol_base:.1} -> {:.1} ns/task)",
+            flat_r.ns_worksteal, chol_r.ns_worksteal
+        );
+        Some((flat_base, flat_pct, chol_base, chol_pct))
+    });
+
     // --- occupancy on the Cholesky DAG with cost-weighted bodies ---------
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let occ_workers = workers.min(host_cpus);
@@ -194,6 +234,12 @@ fn main() {
             .trim_start_matches('{')
             .trim_end_matches('}')
     ));
+    if let Some((flat_base, flat_pct, chol_base, chol_pct)) = ft_overhead {
+        json.push_str(&format!(
+            "  \"ft_overhead_vs_committed\": {{\"flat_baseline_ns\": {flat_base:.1}, \"flat_ns\": {:.1}, \"flat_pct\": {flat_pct:.2}, \"chol_baseline_ns\": {chol_base:.1}, \"chol_ns\": {:.1}, \"chol_pct\": {chol_pct:.2}}},\n",
+            flat_r.ns_worksteal, chol_r.ns_worksteal
+        ));
+    }
     json.push_str("  \"occupancy\": [\n");
     for (i, r) in occ_results.iter().enumerate() {
         let s = r.trace.total_stats();

@@ -25,8 +25,8 @@
 use crate::conversion::{plan_conversions, ConversionPlan};
 use crate::precision_map::PrecisionMap;
 use mixedp_fp::{comm_of_storage, CommPrecision};
-use mixedp_kernels::{blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, trsm_tile};
-use mixedp_runtime::execute_serial;
+use mixedp_kernels::{blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, tile_is_finite, trsm_tile};
+use mixedp_runtime::{execute_serial, FaultPlan, RetryPolicy, WireFault};
 use mixedp_tile::{Grid2d, SymmTileMatrix, Tile};
 use std::collections::HashMap;
 
@@ -44,13 +44,62 @@ pub enum WirePolicy {
 /// Communication statistics of a distributed numerical run.
 #[derive(Debug, Clone, Default)]
 pub struct DistStats {
-    /// Cross-rank messages sent (one per remote (tile, consumer-rank) pair).
+    /// Cross-rank messages sent — one per *transmission*, so retransmitted
+    /// payloads count every attempt.
     pub messages: u64,
-    /// Bytes shipped across ranks.
+    /// Bytes shipped across ranks (including retransmissions).
     pub wire_bytes: u64,
-    /// Bytes that TTC (storage-precision wire) would have shipped.
+    /// Bytes that TTC (storage-precision wire) would have shipped, counted
+    /// once per logical payload (the fault-free policy baseline).
     pub ttc_bytes: u64,
+    /// Payloads the (simulated) wire dropped outright.
+    pub dropped: u64,
+    /// Payloads delivered garbled and rejected by the receiver's
+    /// finite-ness integrity check.
+    pub garbled: u64,
+    /// Retransmissions performed (`dropped + garbled` that were retried).
+    pub retransmits: u64,
+    /// Simulated jittered-backoff nanoseconds accumulated before
+    /// retransmissions (deterministic; no real sleeping in the model).
+    pub backoff_ns: u64,
 }
+
+/// Typed failure modes of the fault-tolerant distributed factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// POTRF hit a non-positive pivot (same meaning as shared memory).
+    NotSpd(NotSpd),
+    /// A cross-rank payload failed through the whole retransmit budget.
+    WireFailed {
+        /// Source tile coordinates.
+        i: usize,
+        j: usize,
+        /// Consumer rank that never received it.
+        rank: usize,
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::NotSpd(e) => {
+                write!(f, "matrix is not positive definite at column {}", e.column)
+            }
+            DistError::WireFailed {
+                i,
+                j,
+                rank,
+                attempts,
+            } => write!(
+                f,
+                "payload of tile ({i},{j}) to rank {rank} failed {attempts} transmission attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
 
 /// Wire precision for broadcasts from tile `(i, j)` under a policy.
 fn wire_of(
@@ -78,14 +127,64 @@ fn through_wire(t: &Tile, wire: CommPrecision) -> Tile {
 /// Distributed mixed-precision factorization over `grid`. Serial,
 /// deterministic execution (the DAG order is the dependency-respecting
 /// priority order); cross-rank reads are wire-quantized per `policy`.
+///
+/// Thin fault-free wrapper over [`factorize_mp_distributed_ft`].
 pub fn factorize_mp_distributed(
     a: &mut SymmTileMatrix,
     pmap: &PrecisionMap,
     grid: &Grid2d,
     policy: WirePolicy,
 ) -> Result<DistStats, NotSpd> {
+    match factorize_mp_distributed_ft(
+        a,
+        pmap,
+        grid,
+        policy,
+        &FaultPlan::none(),
+        &RetryPolicy::no_retry(),
+    ) {
+        Ok(s) => Ok(s),
+        Err(DistError::NotSpd(e)) => Err(e),
+        Err(e @ DistError::WireFailed { .. }) => {
+            unreachable!("a fault-free wire cannot fail: {e}")
+        }
+    }
+}
+
+/// [`factorize_mp_distributed`] with simulated wire faults and bounded
+/// retransmission.
+///
+/// Every cross-rank transmission attempt is probed against `faults`
+/// (deterministically, from the `(payload, consumer-rank)` site and the
+/// attempt number):
+///
+/// * [`WireFault::Drop`] — the payload never arrives; the consumer waits a
+///   jittered exponential backoff (accounted in [`DistStats::backoff_ns`],
+///   never actually slept — this is a simulation) and requests a
+///   retransmit.
+/// * [`WireFault::Garble`] — the payload arrives with non-finite elements;
+///   the receiver's integrity check ([`tile_is_finite`]) rejects it and
+///   requests a retransmit.
+///
+/// Each retransmission is a real message (counted in `messages` /
+/// `wire_bytes`), so fault recovery shows up as communication overhead.
+/// When a payload fails `retry.max_attempts` consecutive transmissions the
+/// run aborts with [`DistError::WireFailed`] naming the payload and the
+/// starved rank. Because rate faults hash the attempt number, retransmits
+/// of a dropped payload usually succeed — and a recovered run's numerical
+/// result is **bit-identical** to the fault-free run, since retransmission
+/// resends the same deterministic wire-quantized payload.
+pub fn factorize_mp_distributed_ft(
+    a: &mut SymmTileMatrix,
+    pmap: &PrecisionMap,
+    grid: &Grid2d,
+    policy: WirePolicy,
+    faults: &FaultPlan,
+    retry: &RetryPolicy,
+) -> Result<DistStats, DistError> {
     let nt = a.nt();
     assert_eq!(pmap.nt(), nt);
+    let nb = a.nb();
     let plan = plan_conversions(pmap);
     let dag = crate::factorize::build_dag(nt);
     let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
@@ -102,9 +201,10 @@ pub fn factorize_mp_distributed(
     // tiles, so no invalidation is needed).
     let mut inbox: HashMap<(usize, usize), Tile> = HashMap::new();
     let mut stats = DistStats::default();
-    let mut failure: Option<usize> = None;
+    let mut failure: Option<DistError> = None;
 
-    // Fetch tile (si, sj) for a consumer task running on `rank`.
+    // Fetch tile (si, sj) for a consumer task running on `rank`,
+    // retransmitting through wire faults up to the retry budget.
     macro_rules! fetch {
         ($tiles:expr, $inbox:expr, $stats:expr, $si:expr, $sj:expr, $rank:expr) => {{
             let owner = grid.rank_of($si, $sj);
@@ -118,13 +218,58 @@ pub fn factorize_mp_distributed(
                     let src = &$tiles[idx($si, $sj)];
                     let wire = wire_of(&plan, pmap, policy, $si, $sj);
                     let elems = src.len() as u64;
-                    $stats.messages += 1;
-                    $stats.wire_bytes += elems * wire.bytes() as u64;
+                    // TTC baseline counts the logical payload once, however
+                    // many times the wire makes us ship it.
                     $stats.ttc_bytes +=
                         elems * comm_of_storage(pmap.storage($si, $sj)).bytes() as u64;
-                    let recv = through_wire(src, wire);
-                    $inbox.insert(key, recv.clone());
-                    recv
+                    // deterministic fault site: this (payload, consumer) pair
+                    let site = ((idx($si, $sj) as u64) << 16) | $rank as u64;
+                    let mut attempt = 0u32;
+                    let received = loop {
+                        attempt += 1;
+                        $stats.messages += 1;
+                        $stats.wire_bytes += elems * wire.bytes() as u64;
+                        let delivered = match faults.inject_wire(site, attempt) {
+                            Some(WireFault::Drop) => {
+                                $stats.dropped += 1;
+                                None
+                            }
+                            Some(WireFault::Garble) => {
+                                // damaged in flight: model as NaN-poisoned
+                                let mut t = through_wire(src, wire);
+                                t.set(0, 0, f64::NAN);
+                                Some(t)
+                            }
+                            None => Some(through_wire(src, wire)),
+                        };
+                        // receiver-side integrity check: accept only
+                        // payloads whose every element is finite
+                        match delivered {
+                            Some(t) if tile_is_finite(&t) => break Some(t),
+                            Some(_) => $stats.garbled += 1,
+                            None => {}
+                        }
+                        if attempt >= retry.max_attempts {
+                            break None;
+                        }
+                        $stats.retransmits += 1;
+                        $stats.backoff_ns += retry.backoff_ns(faults, site, attempt);
+                    };
+                    match received {
+                        Some(t) => {
+                            $inbox.insert(key, t.clone());
+                            t
+                        }
+                        None => {
+                            failure = Some(DistError::WireFailed {
+                                i: $si,
+                                j: $sj,
+                                rank: $rank,
+                                attempts: attempt,
+                            });
+                            return;
+                        }
+                    }
                 }
             }
         }};
@@ -139,7 +284,7 @@ pub fn factorize_mp_distributed(
             Potrf { k } => {
                 let mut c = tiles[idx(k, k)].clone();
                 if potrf_tile(&mut c).is_err() {
-                    failure = Some(k);
+                    failure = Some(DistError::NotSpd(NotSpd { column: k * nb }));
                     return;
                 }
                 tiles[idx(k, k)] = c;
@@ -169,8 +314,8 @@ pub fn factorize_mp_distributed(
         }
     });
 
-    if let Some(k) = failure {
-        return Err(NotSpd { column: k * a.nb() });
+    if let Some(e) = failure {
+        return Err(e);
     }
     let mut it = tiles.into_iter();
     for i in 0..nt {
@@ -291,6 +436,97 @@ mod tests {
             err_low > err_auto * 100.0,
             "always-lowest must be much worse: {err_low:e} vs {err_auto:e}"
         );
+    }
+
+    #[test]
+    fn wire_faults_recovered_by_retransmit_are_invisible_in_the_result() {
+        // Drops and garbles force retransmissions, but a retransmitted
+        // payload is the same deterministic wire-quantized tile — so the
+        // factor matches the fault-free run bit for bit, and the faults
+        // show up only as communication overhead in the stats.
+        let a0 = spd_matrix(80, 16);
+        let m = uniform_map(a0.nt(), Precision::Fp32);
+        let grid = Grid2d::new(2, 3);
+
+        let mut clean = a0.clone();
+        let s_clean = factorize_mp_distributed(&mut clean, &m, &grid, WirePolicy::Ttc).unwrap();
+
+        let faults = FaultPlan::seeded(42)
+            .with_wire_drop_rate(0.25)
+            .with_wire_garble_rate(0.15);
+        let retry = RetryPolicy::default()
+            .with_max_attempts(10)
+            .with_backoff_base_ns(1_000);
+        let mut faulty = a0.clone();
+        let s =
+            factorize_mp_distributed_ft(&mut faulty, &m, &grid, WirePolicy::Ttc, &faults, &retry)
+                .unwrap();
+
+        assert!(s.dropped > 0, "plan must actually drop payloads");
+        assert!(s.garbled > 0, "plan must actually garble payloads");
+        assert_eq!(s.retransmits, s.dropped + s.garbled, "every fault retried");
+        assert!(s.backoff_ns > 0, "retransmits accrue simulated backoff");
+        assert!(
+            s.messages > s_clean.messages && s.wire_bytes > s_clean.wire_bytes,
+            "retransmissions are real traffic"
+        );
+        assert_eq!(
+            s.ttc_bytes, s_clean.ttc_bytes,
+            "baseline counts logical payloads"
+        );
+        for i in 0..80 {
+            for j in 0..=i {
+                assert_eq!(clean.get(i, j), faulty.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_fault_stats_replay_exactly_from_the_seed() {
+        let a0 = spd_matrix(64, 16);
+        let m = uniform_map(a0.nt(), Precision::Fp32);
+        let grid = Grid2d::new(2, 2);
+        let retry = RetryPolicy::default()
+            .with_max_attempts(8)
+            .with_backoff_base_ns(500);
+        let run = |seed: u64| {
+            let faults = FaultPlan::seeded(seed).with_wire_drop_rate(0.3);
+            let mut a = a0.clone();
+            let s =
+                factorize_mp_distributed_ft(&mut a, &m, &grid, WirePolicy::Ttc, &faults, &retry)
+                    .unwrap();
+            (s.messages, s.dropped, s.retransmits, s.backoff_ns)
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault history");
+        assert_ne!(run(7), run(8), "different seed, different fault history");
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_is_a_typed_error() {
+        // Drop rate 1.0: every transmission of every payload is lost, so
+        // the first cross-rank fetch burns its whole budget and the run
+        // reports which payload starved which rank — instead of hanging or
+        // factoring garbage.
+        let a0 = spd_matrix(64, 16);
+        let m = uniform_map(a0.nt(), Precision::Fp32);
+        let faults = FaultPlan::seeded(1).with_wire_drop_rate(1.0);
+        let retry = RetryPolicy::default().with_max_attempts(3);
+        let mut a = a0.clone();
+        let err = factorize_mp_distributed_ft(
+            &mut a,
+            &m,
+            &Grid2d::new(2, 2),
+            WirePolicy::Ttc,
+            &faults,
+            &retry,
+        )
+        .unwrap_err();
+        match err {
+            DistError::WireFailed { attempts, .. } => assert_eq!(attempts, 3),
+            e => panic!("expected WireFailed, got {e:?}"),
+        }
+        let msg = format!("{err}");
+        assert!(msg.contains("transmission attempt"), "{msg}");
     }
 
     #[test]

@@ -13,12 +13,33 @@ use crate::precision_map::PrecisionMap;
 use mixedp_fp::Precision;
 use mixedp_kernels::{
     blas::NotSpd, compute_format_index, gemm_tile_ws_cached, make_compute_buf, potrf_tile_ws,
-    syrk_tile_ws, trsm_tile_ws, ComputeBuf, KernelKind, Workspace, N_COMPUTE_FORMATS,
+    syrk_tile_ws, tile_is_finite, trsm_tile_ws, ComputeBuf, KernelKind, Workspace,
+    N_COMPUTE_FORMATS,
 };
-use mixedp_runtime::{execute_parallel_ctx, execute_serial_ctx, TaskGraph, TaskId};
+use mixedp_runtime::{
+    execute_parallel_ctx_opts, execute_serial_ctx_opts, ExecOptions, ExecuteError, FaultPlan,
+    RetryPolicy, TaskGraph, TaskId,
+};
 use mixedp_tile::{SymmTileMatrix, Tile};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-tolerant locking for the tile cells and STC caches: a panicking
+/// (possibly fault-injected) task must never wedge a retried attempt or a
+/// surviving worker on a poisoned lock. Tile state after a mid-kernel panic
+/// is numerical garbage, not memory-unsafe — the recovery layers above
+/// (task retry, precision escalation) own correctness.
+fn lock_pt<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_pt<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_pt<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One kernel instance of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +57,27 @@ impl CholeskyTask {
             CholeskyTask::Trsm { .. } => KernelKind::Trsm,
             CholeskyTask::Syrk { .. } => KernelKind::Syrk,
             CholeskyTask::Gemm { .. } => KernelKind::Gemm,
+        }
+    }
+
+    /// The tile this task writes (lower-triangular coordinates).
+    pub fn output_tile(&self) -> (usize, usize) {
+        match *self {
+            CholeskyTask::Potrf { k } => (k, k),
+            CholeskyTask::Trsm { m, k } => (m, k),
+            CholeskyTask::Syrk { m, .. } => (m, m),
+            CholeskyTask::Gemm { m, n, .. } => (m, n),
+        }
+    }
+}
+
+impl std::fmt::Display for CholeskyTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CholeskyTask::Potrf { k } => write!(f, "POTRF({k},{k})"),
+            CholeskyTask::Trsm { m, k } => write!(f, "TRSM({m},{k})"),
+            CholeskyTask::Syrk { m, k } => write!(f, "SYRK({m},{m})@{k}"),
+            CholeskyTask::Gemm { m, n, k } => write!(f, "GEMM({m},{n})@{k}"),
         }
     }
 }
@@ -165,6 +207,16 @@ pub struct FactorStats {
     /// Payload bytes of the avoided quantizations — the data-motion saving
     /// of STC over convert-at-every-consumer (TTC).
     pub conversion_bytes_avoided: u64,
+    /// How many times the whole factorization ran (1 = clean first pass;
+    /// each additional attempt was a recovery restart).
+    pub factor_attempts: u32,
+    /// The recovery log: one entry per restart, naming the breakdown and
+    /// what the precision map escalation cost (paper-style visibility into
+    /// what graceful degradation actually did).
+    pub escalations: Vec<EscalationEvent>,
+    /// Task attempts that panicked and were re-executed by the runtime's
+    /// bounded retry policy (recovered task-level faults).
+    pub task_retries: u64,
 }
 
 impl FactorStats {
@@ -177,6 +229,146 @@ impl FactorStats {
             0.0
         } else {
             self.conversions_avoided as f64 / total as f64
+        }
+    }
+}
+
+/// Why a factorization attempt broke down at some tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownCause {
+    /// POTRF hit a non-positive pivot: the tile's update path was
+    /// quantized too aggressively (or the matrix is genuinely indefinite).
+    NotSpd,
+    /// The post-kernel health check found NaN/Inf in the output tile.
+    NonFinite,
+    /// A [`FaultPlan`] corruption we injected ourselves — recovered by a
+    /// plain re-run (transient), never charged to the precision map.
+    Injected,
+}
+
+impl std::fmt::Display for BreakdownCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakdownCause::NotSpd => write!(f, "non-SPD pivot"),
+            BreakdownCause::NonFinite => write!(f, "non-finite output"),
+            BreakdownCause::Injected => write!(f, "injected corruption"),
+        }
+    }
+}
+
+/// One recovery restart of the factorization: which task broke down, why,
+/// and how many precision-map tiles the escalation promoted toward FP64
+/// (`0` for transient injected corruption, which re-runs unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscalationEvent {
+    /// The factorization attempt that failed (1-based).
+    pub factor_attempt: u32,
+    pub task: CholeskyTask,
+    /// Output tile of the failing task.
+    pub tile: (usize, usize),
+    pub cause: BreakdownCause,
+    /// Tiles whose kernel precision moved one level toward FP64.
+    pub escalated_tiles: usize,
+}
+
+/// Typed failure modes of the fault-tolerant factorization — every hard
+/// abort of the classic path becomes a reported, bounded outcome here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// Breakdown with the implicated tiles already fully FP64: the matrix
+    /// is genuinely not positive definite — no escalation can help.
+    NotSpd(NotSpd),
+    /// Non-finite output with no escalation left: bad input data (NaN/Inf
+    /// in the matrix itself) rather than precision breakdown.
+    NonFinite { task: CholeskyTask },
+    /// The recovery budget ran out before a clean pass; `last` names the
+    /// breakdown that exhausted it.
+    EscalationExhausted { budget: u32, last: EscalationEvent },
+    /// A task panicked through its whole runtime retry budget. The record
+    /// names the kernel instance — never an anonymous "worker panicked".
+    TaskFailed {
+        task: CholeskyTask,
+        attempt: u32,
+        cause: String,
+    },
+    /// A worker thread died outside task execution (scheduler bug).
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::NotSpd(e) => {
+                write!(f, "matrix is not positive definite at column {}", e.column)
+            }
+            FactorError::NonFinite { task } => {
+                write!(
+                    f,
+                    "non-finite output of {task} with nothing left to escalate"
+                )
+            }
+            FactorError::EscalationExhausted { budget, last } => write!(
+                f,
+                "escalation budget ({budget}) exhausted; last breakdown: {} at {} (attempt {})",
+                last.cause, last.task, last.factor_attempt
+            ),
+            FactorError::TaskFailed {
+                task,
+                attempt,
+                cause,
+            } => write!(f, "{task} failed after {attempt} attempt(s): {cause}"),
+            FactorError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Configuration of the fault-tolerant factorization driver.
+#[derive(Debug, Clone)]
+pub struct FactorOptions {
+    /// DAG workers (1 = the deterministic serial scheduler).
+    pub nthreads: usize,
+    /// Maximum recovery restarts (precision escalations plus transient
+    /// corruption re-runs) before giving up with
+    /// [`FactorError::EscalationExhausted`].
+    pub escalation_budget: u32,
+    /// Run the post-kernel NaN/Inf probe on every output tile
+    /// ([`mixedp_kernels::tile_is_finite`]); the cost is one streaming
+    /// pass per tile, `O(1/nb)` of the kernel's own work.
+    pub finite_checks: bool,
+    /// Deterministic fault-injection plan (default: no faults).
+    pub faults: FaultPlan,
+    /// Runtime retry policy for panicking tasks.
+    pub retry: RetryPolicy,
+    /// Re-apply the map's storage prescription to the *input* tiles at the
+    /// start of every attempt (from the caller's, normally FP64, copy).
+    /// Without this, a caller that narrowed its tiles before the call has
+    /// already destroyed the information a precision escalation needs —
+    /// the escalated map would re-factor the same degraded data. The MLE
+    /// path sets this so each retry re-narrows `Σ` fresh from FP64 under
+    /// the escalated map.
+    pub renarrow_storage: bool,
+}
+
+impl Default for FactorOptions {
+    fn default() -> Self {
+        FactorOptions {
+            nthreads: 1,
+            escalation_budget: 24,
+            finite_checks: true,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            renarrow_storage: false,
+        }
+    }
+}
+
+impl FactorOptions {
+    pub fn with_threads(nthreads: usize) -> Self {
+        FactorOptions {
+            nthreads,
+            ..Default::default()
         }
     }
 }
@@ -207,22 +399,176 @@ pub fn factorize_mp(
     pmap: &PrecisionMap,
     nthreads: usize,
 ) -> Result<FactorStats, NotSpd> {
+    // Classic semantics on top of the fault-tolerant engine: no finite
+    // checks, no injected faults, no task retry, fast-fail drain on the
+    // first breakdown — and a genuine worker panic still propagates as a
+    // panic, exactly as before.
+    let opts = FactorOptions {
+        nthreads,
+        escalation_budget: 0,
+        finite_checks: false,
+        faults: FaultPlan::none(),
+        retry: RetryPolicy::no_retry(),
+        renarrow_storage: false,
+    };
+    let nb = a.nb();
+    let dag = build_dag(a.nt());
+    let t0 = std::time::Instant::now();
+    match run_attempt(a, &dag, pmap, &opts, 1, true) {
+        Ok(out) => match out.first_failure() {
+            None => Ok(finish_stats(&dag, pmap, a.nb(), t0, out, 1, Vec::new(), 0)),
+            Some((task_idx, _)) => {
+                let (i, _) = dag.tasks[task_idx].output_tile();
+                Err(NotSpd { column: i * nb })
+            }
+        },
+        Err(e) => panic!("worker panicked during factorization: {e}"),
+    }
+}
+
+/// Fault-tolerant factorization: [`factorize_mp`] wrapped in the recovery
+/// loop of the mixed-precision literature. A breakdown (non-SPD pivot, or
+/// NaN/Inf caught by the post-kernel health check) escalates the offending
+/// tile's row/column one level toward FP64 in a working copy of the
+/// precision map, re-plans conversions, and refactorizes — bounded by
+/// `opts.escalation_budget` — while task panics are retried by the runtime
+/// under `opts.retry`. Every recovery action is recorded in the returned
+/// [`FactorStats`] (`factor_attempts`, `escalations`, `task_retries`).
+///
+/// Failure choice is deterministic: an attempt runs the whole DAG (kernels
+/// are bit-reproducible across schedules), collects every breakdown, and
+/// recovers the one with the smallest task id — so serial and parallel
+/// runs take the same escalation path.
+pub fn factorize_mp_recovering(
+    a: &mut SymmTileMatrix,
+    pmap: &PrecisionMap,
+    opts: &FactorOptions,
+) -> Result<FactorStats, FactorError> {
     let nt = a.nt();
     assert_eq!(pmap.nt(), nt, "precision map / matrix mismatch");
     let dag = build_dag(nt);
-    let (mp_bytes, fp64_bytes) = pmap.storage_bytes(a.nb());
+    let mut map = pmap.clone();
+    let mut escalations: Vec<EscalationEvent> = Vec::new();
+    let mut task_retries = 0u64;
+    let t0 = std::time::Instant::now();
+    let mut factor_attempt = 0u32;
+    loop {
+        factor_attempt += 1;
+        let out = run_attempt(a, &dag, &map, opts, factor_attempt, false)?;
+        task_retries += out.task_retries;
+        let Some((task_idx, cause)) = out.first_failure() else {
+            return Ok(finish_stats(
+                &dag,
+                &map,
+                a.nb(),
+                t0,
+                out,
+                factor_attempt,
+                escalations,
+                task_retries,
+            ));
+        };
+        let task = dag.tasks[task_idx];
+        let tile = task.output_tile();
+        let escalated = if cause == BreakdownCause::Injected {
+            // Transient injected corruption: a plain re-run recovers it
+            // (rate faults hash the attempt number); never charge the map.
+            0
+        } else {
+            let changed = map.escalate_cross(tile.0, tile.1);
+            if changed == 0 {
+                // The whole implicated cross already runs in FP64: this is
+                // a genuine numerical failure, not precision breakdown.
+                return Err(match cause {
+                    BreakdownCause::NotSpd => FactorError::NotSpd(NotSpd {
+                        column: tile.0 * a.nb(),
+                    }),
+                    _ => FactorError::NonFinite { task },
+                });
+            }
+            changed
+        };
+        let event = EscalationEvent {
+            factor_attempt,
+            task,
+            tile,
+            cause,
+            escalated_tiles: escalated,
+        };
+        if escalations.len() as u32 >= opts.escalation_budget {
+            return Err(FactorError::EscalationExhausted {
+                budget: opts.escalation_budget,
+                last: event,
+            });
+        }
+        escalations.push(event);
+    }
+}
+
+/// Result of one factorization attempt over the DAG.
+struct AttemptOutcome {
+    /// Breakdowns observed, sorted by task id (empty = clean attempt, and
+    /// the factor has been written back into the matrix).
+    failures: Vec<(TaskId, BreakdownCause)>,
+    conv_performed: u64,
+    conv_avoided: u64,
+    conv_bytes_avoided: u64,
+    task_retries: u64,
+}
+
+impl AttemptOutcome {
+    /// The breakdown with the smallest task id — the deterministic pick
+    /// the recovery loop acts on (task ids are schedule-independent, and
+    /// downstream NaN propagation always lands on larger ids than its
+    /// root cause).
+    fn first_failure(&self) -> Option<(TaskId, BreakdownCause)> {
+        self.failures.first().copied()
+    }
+}
+
+/// Run the Cholesky DAG once under `pmap`. On a clean pass the factor is
+/// written back into `a` (storage per the map); on breakdown `a` is left
+/// untouched and the failures are reported. `fast_fail` drains remaining
+/// task bodies after the first breakdown (the classic single-shot path);
+/// the recovery loop disables it so the set of observed breakdowns — and
+/// hence the escalation choice — is schedule-independent.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    a: &mut SymmTileMatrix,
+    dag: &CholeskyDag,
+    pmap: &PrecisionMap,
+    opts: &FactorOptions,
+    factor_attempt: u32,
+    fast_fail: bool,
+) -> Result<AttemptOutcome, FactorError> {
+    let nt = a.nt();
+    let nthreads = opts.nthreads;
 
     // Move tiles into per-tile RwLocks for concurrent kernel execution.
-    let nb = a.nb();
     let ncells = nt * (nt + 1) / 2;
     let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(ncells);
     for i in 0..nt {
         for j in 0..=i {
-            cells.push(RwLock::new(a.tile(i, j).clone()));
+            let t = a.tile(i, j);
+            let cell = if opts.renarrow_storage && t.storage() != pmap.storage(i, j) {
+                // The map's storage prescription is a real narrowing (part
+                // of the method's error, Fig 2b) — re-derived fresh from
+                // the caller's tiles each attempt so escalation recovers
+                // full-precision data, not previously-degraded bits.
+                t.converted_to(pmap.storage(i, j))
+            } else {
+                t.clone()
+            };
+            cells.push(RwLock::new(cell));
         }
     }
     let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
-    let failure = AtomicUsize::new(usize::MAX);
+    let failures: Mutex<Vec<(TaskId, BreakdownCause)>> = Mutex::new(Vec::new());
+    let failed = AtomicBool::new(false);
+    let record_failure = |task_idx: TaskId, cause: BreakdownCause| {
+        lock_pt(&failures).push((task_idx, cause));
+        failed.store(true, Ordering::Release);
+    };
 
     // STC cache: per panel tile, one slot per compute format, filled by the
     // tile's TRSM (its final writer) and read by its GEMM consumers.
@@ -230,9 +576,9 @@ pub fn factorize_mp(
     let caches: Vec<Mutex<Slots>> = (0..ncells).map(|_| Mutex::new(Slots::default())).collect();
     // GEMM reads remaining per panel tile (m,k): A-operand of GEMM(m,n,k)
     // for n in k+1..m, B-operand of GEMM(m',m,k) for m' in m+1..nt.
-    let readers: Vec<AtomicUsize> = (0..nt)
+    let readers: Vec<AtomicU64> = (0..nt)
         .flat_map(|i| (0..=i).map(move |j| (i, j)))
-        .map(|(i, j)| AtomicUsize::new(if i > j { nt - j - 2 } else { 0 }))
+        .map(|(i, j)| AtomicU64::new(if i > j { (nt - j - 2) as u64 } else { 0 }))
         .collect();
     let conv_performed = AtomicU64::new(0);
     let conv_avoided = AtomicU64::new(0);
@@ -245,28 +591,61 @@ pub fn factorize_mp(
     let release_reader = |ti: usize| {
         if readers[ti].fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last GEMM consumer done: free the cached compute buffers.
-            *caches[ti].lock().unwrap() = Slots::default();
+            *lock_pt(&caches[ti]) = Slots::default();
         }
     };
 
-    let run_task = |ws: &mut Workspace, t: &CholeskyTask| {
-        if failure.load(Ordering::Relaxed) != usize::MAX {
-            return; // SPD failure observed: drain remaining tasks as no-ops
+    // Post-kernel health pass on the task's output tile: corruption
+    // injection first (a deterministic function of (plan, task, factor
+    // attempt)), then the finite probe.
+    let check_output = |task_idx: TaskId, t: &CholeskyTask| {
+        let (oi, oj) = t.output_tile();
+        let mut injected = false;
+        if !opts.faults.is_noop() {
+            if let Some(c) = opts
+                .faults
+                .inject_corruption(task_idx as u64, factor_attempt)
+            {
+                write_pt(&cells[idx(oi, oj)]).set(0, 0, c.value());
+                injected = true;
+            }
         }
+        if opts.finite_checks && !tile_is_finite(&read_pt(&cells[idx(oi, oj)])) {
+            record_failure(
+                task_idx,
+                if injected {
+                    BreakdownCause::Injected
+                } else {
+                    BreakdownCause::NonFinite
+                },
+            );
+        }
+    };
+
+    let run_task = |ws: &mut Workspace, task_idx: TaskId| {
+        if fast_fail && failed.load(Ordering::Acquire) {
+            return; // breakdown observed: drain remaining tasks as no-ops
+        }
+        let t = &dag.tasks[task_idx];
         match *t {
             CholeskyTask::Potrf { k } => {
-                let mut c = cells[idx(k, k)].write().unwrap();
+                let mut c = write_pt(&cells[idx(k, k)]);
                 if potrf_tile_ws(&mut c, ws, kernel_par).is_err() {
-                    failure.store(k, Ordering::Relaxed);
+                    drop(c);
+                    record_failure(task_idx, BreakdownCause::NotSpd);
+                    return;
                 }
+                drop(c);
+                check_output(task_idx, t);
             }
             CholeskyTask::Trsm { m, k } => {
                 let ti = idx(m, k);
                 {
-                    let l = cells[idx(k, k)].read().unwrap();
-                    let mut b = cells[ti].write().unwrap();
+                    let l = read_pt(&cells[idx(k, k)]);
+                    let mut b = write_pt(&cells[ti]);
                     trsm_tile_ws(pmap.kernel(m, k), &l, &mut b, ws, kernel_par);
                 }
+                check_output(task_idx, t);
                 // STC: tile (m,k) is now final. Quantize it once into each
                 // compute format a downstream GEMM will read it in. No GEMM
                 // consumer can run before this task completes, so filling
@@ -287,8 +666,8 @@ pub fn factorize_mp(
                         }
                     }
                     if needed.iter().any(|p| p.is_some()) {
-                        let b = cells[ti].read().unwrap();
-                        let mut slots = caches[ti].lock().unwrap();
+                        let b = read_pt(&cells[ti]);
+                        let mut slots = lock_pt(&caches[ti]);
                         for (s, p) in needed.iter().enumerate() {
                             if let Some(p) = p {
                                 slots[s] = Some(Arc::new(make_compute_buf(*p, &b)));
@@ -299,24 +678,27 @@ pub fn factorize_mp(
                 }
             }
             CholeskyTask::Syrk { m, k } => {
-                let a_in = cells[idx(m, k)].read().unwrap();
-                let mut c = cells[idx(m, m)].write().unwrap();
-                syrk_tile_ws(&a_in, &mut c, ws, kernel_par);
+                {
+                    let a_in = read_pt(&cells[idx(m, k)]);
+                    let mut c = write_pt(&cells[idx(m, m)]);
+                    syrk_tile_ws(&a_in, &mut c, ws, kernel_par);
+                }
+                check_output(task_idx, t);
             }
             CholeskyTask::Gemm { m, n, k } => {
                 let p = pmap.kernel(m, n);
                 let (ta, tb) = (idx(m, k), idx(n, k));
                 let (abuf, bbuf) = match compute_format_index(p) {
                     Some(s) => (
-                        caches[ta].lock().unwrap()[s].clone(),
-                        caches[tb].lock().unwrap()[s].clone(),
+                        lock_pt(&caches[ta])[s].clone(),
+                        lock_pt(&caches[tb])[s].clone(),
                     ),
                     None => (None, None),
                 };
                 {
-                    let ai = cells[ta].read().unwrap();
-                    let bi = cells[tb].read().unwrap();
-                    let mut c = cells[idx(m, n)].write().unwrap();
+                    let ai = read_pt(&cells[ta]);
+                    let bi = read_pt(&cells[tb]);
+                    let mut c = write_pt(&cells[idx(m, n)]);
                     let local = gemm_tile_ws_cached(
                         p,
                         &ai,
@@ -333,44 +715,85 @@ pub fn factorize_mp(
                         conv_bytes_avoided.fetch_add(buf.bytes() as u64, Ordering::Relaxed);
                     }
                 }
+                check_output(task_idx, t);
                 release_reader(ta);
                 release_reader(tb);
             }
         }
     };
 
-    let t0 = std::time::Instant::now();
-    if nthreads <= 1 {
+    let exec_opts = ExecOptions {
+        retry: opts.retry.clone(),
+        faults: opts.faults.clone(),
+    };
+    let map_exec_err = |e: ExecuteError| match e {
+        ExecuteError::TaskFailed(f) => FactorError::TaskFailed {
+            task: dag.tasks[f.task],
+            attempt: f.attempt,
+            cause: f.cause,
+        },
+        ExecuteError::WorkerPanicked => FactorError::WorkerPanicked,
+    };
+    let task_retries = if nthreads <= 1 {
         let mut ws = Workspace::new();
-        execute_serial_ctx(&dag.graph, &mut ws, |ws, id| run_task(ws, &dag.tasks[id]));
+        let (_, rt_failures) =
+            execute_serial_ctx_opts(&dag.graph, &mut ws, |ws, id| run_task(ws, id), &exec_opts)
+                .map_err(map_exec_err)?;
+        rt_failures.len() as u64
     } else {
-        execute_parallel_ctx(
+        let trace = execute_parallel_ctx_opts(
             &dag.graph,
             nthreads,
             |_wid| Workspace::new(),
-            |ws, id| run_task(ws, &dag.tasks[id]),
+            |ws, id| run_task(ws, id),
+            &exec_opts,
         )
-        .expect("worker panicked during factorization");
-    }
-    let wall_s = t0.elapsed().as_secs_f64();
+        .map_err(map_exec_err)?;
+        trace.total_stats().retries
+    };
 
-    let fail_col = failure.load(Ordering::Relaxed);
-    if fail_col != usize::MAX {
-        return Err(NotSpd {
-            column: fail_col * nb,
-        });
-    }
+    let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    failures.sort_by_key(|&(id, _)| id);
+    failures.dedup_by_key(|&mut (id, _)| id);
 
-    // Write tiles back, converting storage to the map's prescription (the
-    // factor tile keeps the storage precision of its map entry).
-    let mut cells_iter = cells.into_iter();
-    for i in 0..nt {
-        for j in 0..=i {
-            let tile = cells_iter.next().unwrap().into_inner().unwrap();
-            *a.tile_mut(i, j) = tile.converted_to(pmap.storage(i, j));
+    if failures.is_empty() {
+        // Write tiles back, converting storage to the map's prescription
+        // (the factor tile keeps the storage precision of its map entry).
+        let mut cells_iter = cells.into_iter();
+        for i in 0..nt {
+            for j in 0..=i {
+                let tile = cells_iter
+                    .next()
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner());
+                *a.tile_mut(i, j) = tile.converted_to(pmap.storage(i, j));
+            }
         }
     }
 
+    Ok(AttemptOutcome {
+        failures,
+        conv_performed: conv_performed.into_inner(),
+        conv_avoided: conv_avoided.into_inner(),
+        conv_bytes_avoided: conv_bytes_avoided.into_inner(),
+        task_retries,
+    })
+}
+
+/// Assemble the [`FactorStats`] of a successful run.
+#[allow(clippy::too_many_arguments)]
+fn finish_stats(
+    dag: &CholeskyDag,
+    pmap: &PrecisionMap,
+    nb: usize,
+    t0: std::time::Instant,
+    out: AttemptOutcome,
+    factor_attempts: u32,
+    escalations: Vec<EscalationEvent>,
+    task_retries: u64,
+) -> FactorStats {
+    let (mp_bytes, fp64_bytes) = pmap.storage_bytes(nb);
     let mut counts = [0usize; 4];
     for t in &dag.tasks {
         match t.kind() {
@@ -380,16 +803,19 @@ pub fn factorize_mp(
             KernelKind::Gemm => counts[3] += 1,
         }
     }
-    Ok(FactorStats {
+    FactorStats {
         tasks_run: dag.tasks.len(),
         kernel_counts: counts,
-        wall_s,
+        wall_s: t0.elapsed().as_secs_f64(),
         storage_bytes_mp: mp_bytes,
         storage_bytes_fp64: fp64_bytes,
-        conversions_performed: conv_performed.into_inner(),
-        conversions_avoided: conv_avoided.into_inner(),
-        conversion_bytes_avoided: conv_bytes_avoided.into_inner(),
-    })
+        conversions_performed: out.conv_performed,
+        conversions_avoided: out.conv_avoided,
+        conversion_bytes_avoided: out.conv_bytes_avoided,
+        factor_attempts,
+        escalations,
+        task_retries,
+    }
 }
 
 #[cfg(test)]

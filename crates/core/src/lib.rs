@@ -31,9 +31,14 @@ pub mod tlr;
 
 pub use band_map::{banded_map, banded_map_matching_storage};
 pub use conversion::{plan_conversions, ConversionPlan, Strategy};
-pub use distributed::{factorize_mp_distributed, DistStats, WirePolicy};
-pub use factorize::{factorize_mp, FactorStats};
+pub use distributed::{
+    factorize_mp_distributed, factorize_mp_distributed_ft, DistError, DistStats, WirePolicy,
+};
+pub use factorize::{
+    factorize_mp, factorize_mp_recovering, BreakdownCause, EscalationEvent, FactorError,
+    FactorOptions, FactorStats,
+};
 pub use mle::MpBackend;
 pub use precision_map::{uniform_map, PrecisionMap};
-pub use refine::{solve_refined, RefineResult};
+pub use refine::{solve_refined, RefineError, RefineResult};
 pub use simulate::{build_sim_tasks, simulate_cholesky, CholeskySimOptions};

@@ -3,7 +3,7 @@
 //! application pipeline of the paper — every likelihood evaluation builds
 //! `Σ(θ)` tile-wise under the precision map and factors it with Algorithm 1).
 
-use crate::factorize::factorize_mp;
+use crate::factorize::{factorize_mp_recovering, FactorOptions, FactorStats};
 use crate::precision_map::PrecisionMap;
 use mixedp_fp::Precision;
 use mixedp_geostats::assemble::covariance_tiles;
@@ -25,6 +25,12 @@ pub struct MpBackend {
     pub threads: usize,
     /// Candidate precisions (defaults to the paper's adaptive set).
     pub candidates: Vec<Precision>,
+    /// Recovery budget: when the adaptive map proves too aggressive for
+    /// `Σ(θ)` (non-SPD pivot), the factorization escalates the offending
+    /// tiles toward FP64 and retries up to this many times before the
+    /// likelihood evaluation reports `None`. `0` restores the old
+    /// fail-on-first-breakdown behavior.
+    pub escalation_budget: u32,
 }
 
 impl MpBackend {
@@ -34,6 +40,7 @@ impl MpBackend {
             nb,
             threads,
             candidates: Precision::ADAPTIVE_SET.to_vec(),
+            escalation_budget: FactorOptions::default().escalation_budget,
         }
     }
 
@@ -62,33 +69,35 @@ impl MpBackend {
         // is bit-identical at any thread count.
         covariance_tiles(model, locs, theta, self.nb, self.threads)
     }
-}
 
-impl LoglikBackend for MpBackend {
-    fn loglik(
+    /// [`LoglikBackend::loglik`] plus the [`FactorStats`] of the run, so
+    /// callers see what the factorization cost — in particular whether
+    /// (and how) precision escalation recovered a breakdown
+    /// (`stats.escalations`, `stats.factor_attempts`).
+    pub fn loglik_detailed(
         &self,
         model: &dyn CovarianceModel,
         locs: &[Location],
         theta: &[f64],
         z: &[f64],
-    ) -> Option<f64> {
+    ) -> Option<(f64, FactorStats)> {
         let n = locs.len();
         assert_eq!(z.len(), n);
         let mut sigma = self.build_sigma(model, locs, theta);
         let norms = tile_fro_norms(&sigma);
         let pmap = PrecisionMap::from_norms(&norms, self.accuracy, &self.candidates);
-        // Re-store tiles at the map's storage precision (Fig 2b): this is a
-        // real narrowing — part of the method's error.
-        for i in 0..sigma.nt() {
-            for j in 0..=i {
-                let want = pmap.storage(i, j);
-                if sigma.tile(i, j).storage() != want {
-                    let t = sigma.tile(i, j).converted_to(want);
-                    *sigma.tile_mut(i, j) = t;
-                }
-            }
-        }
-        factorize_mp(&mut sigma, &pmap, self.threads).ok()?;
+        // `renarrow_storage` re-stores the FP64 tiles at the map's storage
+        // precision (Fig 2b) inside each factorization attempt: the same
+        // real narrowing the classic path applied up front, but re-derived
+        // from FP64 after every escalation so recovery regains the bits
+        // the breakdown needs.
+        let opts = FactorOptions {
+            nthreads: self.threads,
+            escalation_budget: self.escalation_budget,
+            renarrow_storage: true,
+            ..Default::default()
+        };
+        let stats = factorize_mp_recovering(&mut sigma, &pmap, &opts).ok()?;
         // log|Σ| and the quadratic form via the (widened) factor.
         let l = sigma.to_dense_lower();
         let ld = l.data();
@@ -107,7 +116,20 @@ impl LoglikBackend for MpBackend {
         if !v2.is_finite() {
             return None;
         }
-        Some(assemble_loglik(n, log_det, v2))
+        Some((assemble_loglik(n, log_det, v2), stats))
+    }
+}
+
+impl LoglikBackend for MpBackend {
+    fn loglik(
+        &self,
+        model: &dyn CovarianceModel,
+        locs: &[Location],
+        theta: &[f64],
+        z: &[f64],
+    ) -> Option<f64> {
+        self.loglik_detailed(model, locs, theta, z)
+            .map(|(ll, _)| ll)
     }
 
     fn label(&self) -> String {
@@ -181,5 +203,47 @@ mod tests {
     #[test]
     fn label_formats_accuracy() {
         assert_eq!(MpBackend::new(1e-9, 64, 1).label(), "1e-9");
+    }
+
+    #[test]
+    fn breakdown_recovers_via_escalation() {
+        // Strong-correlation squared exponential: the adaptive map at
+        // loose accuracy narrows panel tiles below what the conditioning
+        // tolerates, so the classic fail-on-first-breakdown path (budget
+        // 0) hits NotSpd and the evaluation dies. The recovering backend
+        // escalates the implicated rows/columns toward FP64, refactorizes,
+        // and completes — with the whole recovery trail visible in
+        // FactorStats.
+        let mut rng = StdRng::seed_from_u64(5);
+        let locs = gen_locations_2d(196, &mut rng);
+        let model = SqExp::new2d();
+        let theta = [1.0, 0.3];
+        let z = generate_field(&model, &locs, &[1.0, 0.1], &mut rng);
+
+        let mut no_recovery = MpBackend::new(1e-4, 28, 1);
+        no_recovery.escalation_budget = 0;
+        assert!(
+            no_recovery
+                .loglik_detailed(&model, &locs, &theta, &z)
+                .is_none(),
+            "this configuration must trigger NotSpd without recovery"
+        );
+
+        let be = MpBackend::new(1e-4, 28, 1);
+        let (ll, stats) = be.loglik_detailed(&model, &locs, &theta, &z).unwrap();
+        assert!(stats.factor_attempts > 1, "recovery must have restarted");
+        assert!(
+            !stats.escalations.is_empty(),
+            "escalations must be recorded"
+        );
+        let first = &stats.escalations[0];
+        assert_eq!(first.cause, crate::factorize::BreakdownCause::NotSpd);
+        assert!(first.escalated_tiles > 0);
+        let exact = ExactBackend.loglik(&model, &locs, &theta, &z).unwrap();
+        let rel = ((ll - exact) / exact).abs();
+        assert!(
+            rel < 1e-6,
+            "recovered ll {ll} vs exact {exact} (rel {rel:e})"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! effective epsilon of the candidate format. Diagonal tiles always compute
 //! in FP64 (they carry the strongest correlations and feed POTRF/SYRK).
 
-use mixedp_fp::{storage_precision_of, Precision, StoragePrecision};
+use mixedp_fp::{escalate, storage_precision_of, Precision, StoragePrecision};
 use mixedp_tile::NormMap;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +108,47 @@ impl PrecisionMap {
         }
         let fp64 = per_tile * 8 * (self.nt * (self.nt + 1) / 2) as u64;
         (mp, fp64)
+    }
+
+    /// Escalate one tile's kernel precision one level toward FP64 on the
+    /// recovery lattice ([`mixedp_fp::escalate`]). Returns `true` if the
+    /// tile actually moved (FP64 is the fixed point).
+    pub fn escalate_tile(&mut self, i: usize, j: usize) -> bool {
+        debug_assert!(j <= i, "precision map is lower-triangular");
+        let k = i * (i + 1) / 2 + j;
+        let next = escalate(self.kernel[k]);
+        let moved = next != self.kernel[k];
+        self.kernel[k] = next;
+        moved
+    }
+
+    /// Escalate the *cross* of tile `(i, j)`: every stored tile in row `i`
+    /// and column `j` moves one level toward FP64. A breakdown at `(i, j)`
+    /// implicates its whole update path — the panel tiles that fed the
+    /// failing kernel and the trailing tiles it feeds — so the recovery
+    /// promotes the cross rather than a single tile, matching the
+    /// row/column escalation of the mixed-precision Cholesky literature.
+    /// Returns the number of tiles whose precision actually changed; `0`
+    /// means the cross is already fully FP64 and the failure is genuine.
+    pub fn escalate_cross(&mut self, i: usize, j: usize) -> usize {
+        debug_assert!(j <= i, "precision map is lower-triangular");
+        let mut changed = 0;
+        // row i: tiles (i, 0..=i)
+        for jj in 0..=i {
+            if self.escalate_tile(i, jj) {
+                changed += 1;
+            }
+        }
+        // column j: tiles (j..nt, j), skipping (i, j) already done above
+        for ii in j..self.nt {
+            if ii == i {
+                continue;
+            }
+            if self.escalate_tile(ii, j) {
+                changed += 1;
+            }
+        }
+        changed
     }
 
     /// ASCII heatmap (one char per tile: `8`=FP64, `4`=FP32, `h`=FP16_32,
@@ -233,6 +274,41 @@ mod tests {
         // diagonal (8 tiles) f64, off-diag (28) f32
         let per = 64u64 * 64;
         assert_eq!(mp, per * 8 * 8 + per * 4 * 28);
+    }
+
+    #[test]
+    fn escalate_tile_steps_toward_fp64() {
+        let mut m = uniform_map(4, Precision::Fp16);
+        assert!(m.escalate_tile(2, 0));
+        assert_eq!(m.kernel(2, 0), Precision::Fp16x32);
+        assert!(m.escalate_tile(2, 0));
+        assert_eq!(m.kernel(2, 0), Precision::Fp32);
+        assert!(m.escalate_tile(2, 0));
+        assert_eq!(m.kernel(2, 0), Precision::Fp64);
+        // fixed point: no further movement
+        assert!(!m.escalate_tile(2, 0));
+        // diagonal is already FP64
+        assert!(!m.escalate_tile(1, 1));
+    }
+
+    #[test]
+    fn escalate_cross_promotes_row_and_column() {
+        let nt = 5;
+        let mut m = uniform_map(nt, Precision::Fp16);
+        let changed = m.escalate_cross(3, 1);
+        // row 3: (3,0) (3,1) (3,2) moved, (3,3) diag fixed;
+        // col 1: (2,1) (4,1) moved, (1,1) diag fixed, (3,1) counted above
+        assert_eq!(changed, 5);
+        for jj in 0..3 {
+            assert_eq!(m.kernel(3, jj), Precision::Fp16x32, "(3,{jj})");
+        }
+        assert_eq!(m.kernel(2, 1), Precision::Fp16x32);
+        assert_eq!(m.kernel(4, 1), Precision::Fp16x32);
+        // untouched tile stays put
+        assert_eq!(m.kernel(1, 0), Precision::Fp16);
+        // an all-FP64 cross reports zero movement (genuine failure signal)
+        let mut full = uniform_map(nt, Precision::Fp64);
+        assert_eq!(full.escalate_cross(3, 1), 0);
     }
 
     #[test]

@@ -31,6 +31,43 @@ pub struct RefineResult {
     pub converged: bool,
 }
 
+/// Refinement broke down instead of merely running out of budget: the
+/// factor is too weak a preconditioner for this system (κ·u ≥ 1) or the
+/// data is poisoned. The classic silent loop-to-max would mask these — a
+/// NaN residual compares false against the tolerance forever.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefineError {
+    /// The residual (or the iterate feeding it) went NaN/Inf.
+    NonFinite { iteration: usize },
+    /// The residual grew two consecutive iterations — divergence, not
+    /// slow convergence (one growth step can be a transient).
+    Diverged {
+        iteration: usize,
+        residual: f64,
+        prev: f64,
+    },
+}
+
+impl std::fmt::Display for RefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefineError::NonFinite { iteration } => {
+                write!(f, "refinement residual non-finite at iteration {iteration}")
+            }
+            RefineError::Diverged {
+                iteration,
+                residual,
+                prev,
+            } => write!(
+                f,
+                "refinement diverging at iteration {iteration}: residual {residual:e} after {prev:e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
 /// Solve `Σ x = b` by iterative refinement.
 ///
 /// * `l_mp` — the mixed-precision tile factor of `Σ` (from
@@ -38,13 +75,17 @@ pub struct RefineResult {
 /// * `sigma` — the *original* matrix in full precision (for residuals);
 ///   kept as a closure `matvec(v) -> Σv` so callers can supply a dense
 ///   matrix, the tiled original, or a matrix-free operator.
+///
+/// Returns `Ok` with `converged = false` when the budget runs out while
+/// still making progress, and `Err` on breakdown: a non-finite residual,
+/// or a residual that grew two consecutive iterations.
 pub fn solve_refined(
     l_mp: &SymmTileMatrix,
     matvec: impl Fn(&[f64]) -> Vec<f64>,
     b: &[f64],
     tol: f64,
     max_iters: usize,
-) -> RefineResult {
+) -> Result<RefineResult, RefineError> {
     let b_norm = b
         .iter()
         .map(|x| x * x)
@@ -53,17 +94,34 @@ pub fn solve_refined(
         .max(f64::MIN_POSITIVE);
     let mut x = spd_solve_tiled(l_mp, b);
     let mut rel = f64::INFINITY;
+    let mut growth_streak = 0usize;
     for it in 0..=max_iters {
         let ax = matvec(&x);
         let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let prev = rel;
         rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / b_norm;
+        if !rel.is_finite() {
+            return Err(RefineError::NonFinite { iteration: it });
+        }
         if rel <= tol {
-            return RefineResult {
+            return Ok(RefineResult {
                 x,
                 rel_residual: rel,
                 iterations: it,
                 converged: true,
-            };
+            });
+        }
+        if it > 0 && rel > prev {
+            growth_streak += 1;
+            if growth_streak >= 2 {
+                return Err(RefineError::Diverged {
+                    iteration: it,
+                    residual: rel,
+                    prev,
+                });
+            }
+        } else {
+            growth_streak = 0;
         }
         if it == max_iters {
             break;
@@ -73,12 +131,12 @@ pub fn solve_refined(
             *xi += di;
         }
     }
-    RefineResult {
+    Ok(RefineResult {
         x,
         rel_residual: rel,
         iterations: max_iters,
         converged: false,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +179,7 @@ mod tests {
         assert!(direct_err > 1e-9, "direct MP solve unexpectedly exact");
 
         // ...refinement recovers working accuracy
-        let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-12, 40);
+        let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-12, 40).unwrap();
         assert!(r.converged, "residual stuck at {:e}", r.rel_residual);
         let err =
             r.x.iter()
@@ -147,7 +205,7 @@ mod tests {
         let iters_at = |u_req: f64| {
             let pmap = PrecisionMap::from_norms(&norms, u_req, &Precision::ADAPTIVE_SET);
             let l = factor_under(&a, nb, &pmap);
-            let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-12, 60);
+            let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-12, 60).unwrap();
             assert!(r.converged, "u_req {u_req}");
             r.iterations
         };
@@ -165,9 +223,50 @@ mod tests {
         let pmap = uniform_map(n.div_ceil(nb), Precision::Fp16);
         let l = factor_under(&a, nb, &pmap);
         let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
-        let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-15, 0);
+        let r = solve_refined(&l, |v| a.matvec(v), &b, 1e-15, 0).unwrap();
         assert!(!r.converged);
         assert_eq!(r.iterations, 0);
         assert!(r.rel_residual.is_finite());
+    }
+
+    #[test]
+    fn divergence_is_a_typed_error_not_a_silent_loop() {
+        // Refine against the WRONG operator: the "residual" b − Mx for a
+        // matvec M ≠ Σ grows every correction, so the loop must bail with
+        // Diverged instead of spinning to max_iters.
+        let n = 48;
+        let nb = 16;
+        let a = spd(n);
+        let pmap = uniform_map(n.div_ceil(nb), Precision::Fp64);
+        let l = factor_under(&a, nb, &pmap);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
+        // amplifying bogus operator: M = 10·diag-ish mismatch vs Σ
+        let bad_matvec = |v: &[f64]| -> Vec<f64> { v.iter().map(|x| -9.0 * x).collect() };
+        let err = solve_refined(&l, bad_matvec, &b, 1e-14, 1000).unwrap_err();
+        match err {
+            RefineError::Diverged {
+                iteration,
+                residual,
+                prev,
+            } => {
+                assert!(iteration < 1000, "bailed early, not loop-to-max");
+                assert!(residual > prev);
+            }
+            e => panic!("expected Diverged, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_residual_is_a_typed_error() {
+        let n = 48;
+        let nb = 16;
+        let a = spd(n);
+        let pmap = uniform_map(n.div_ceil(nb), Precision::Fp64);
+        let l = factor_under(&a, nb, &pmap);
+        let b: Vec<f64> = vec![1.0; n];
+        // operator that poisons the residual with NaN immediately
+        let nan_matvec = |v: &[f64]| -> Vec<f64> { v.iter().map(|_| f64::NAN).collect() };
+        let err = solve_refined(&l, nan_matvec, &b, 1e-14, 10).unwrap_err();
+        assert_eq!(err, RefineError::NonFinite { iteration: 0 });
     }
 }

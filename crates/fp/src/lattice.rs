@@ -39,6 +39,24 @@ pub fn higher_comm(a: CommPrecision, b: CommPrecision) -> CommPrecision {
     a.max(b)
 }
 
+/// One escalation step toward FP64 on the recovery lattice: when a tile's
+/// precision proves too aggressive (non-SPD pivot, non-finite output), the
+/// fault-tolerant factorization promotes it one level and retries. The
+/// 16-bit formats first regain a 32-bit accumulator, then full FP32
+/// storage, then FP64; FP64 is the fixed point (no further escalation
+/// possible — reaching it with a still-failing tile means the matrix is
+/// genuinely not positive definite).
+pub fn escalate(p: Precision) -> Precision {
+    match p {
+        Precision::Fp16 => Precision::Fp16x32,
+        Precision::Bf16x32 => Precision::Fp16x32,
+        Precision::Fp16x32 => Precision::Fp32,
+        Precision::Tf32 => Precision::Fp32,
+        Precision::Fp32 => Precision::Fp64,
+        Precision::Fp64 => Precision::Fp64,
+    }
+}
+
 /// The wire format matching a storage format (used when a payload is sent
 /// exactly as stored — the TTC case for TRSM outputs).
 pub fn comm_of_storage(s: StoragePrecision) -> CommPrecision {
@@ -97,6 +115,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn escalate_reaches_fp64_and_stops() {
+        for p in Precision::ALL {
+            // every precision reaches the Fp64 fixed point in a few steps
+            let mut cur = p;
+            for _ in 0..4 {
+                cur = escalate(cur);
+            }
+            assert_eq!(cur, Precision::Fp64, "from {p}");
+        }
+        assert_eq!(escalate(Precision::Fp64), Precision::Fp64);
+        // each non-terminal step strictly gains accuracy (never descends)
+        assert_eq!(escalate(Precision::Fp16), Precision::Fp16x32);
+        assert_eq!(escalate(Precision::Bf16x32), Precision::Fp16x32);
+        assert_eq!(escalate(Precision::Tf32), Precision::Fp32);
     }
 
     #[test]

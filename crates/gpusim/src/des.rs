@@ -303,12 +303,18 @@ impl Simulator {
                     h2d_bytes += bytes;
                     arrival = s + dur;
                 } else {
-                    // A device copy somewhere? Prefer same node.
+                    // A device copy somewhere? Prefer same node; break ties
+                    // on the GPU id — `min_by_key` over a HashMap otherwise
+                    // resolves them by hash-iteration order, which differs
+                    // per map instance and made the makespan nondeterministic.
                     let src = ts
                         .device_copies
                         .iter()
                         .min_by_key(|(&sg, _)| {
-                            (self.cluster.node_of(sg as usize) as u32 != my_node) as u32
+                            (
+                                (self.cluster.node_of(sg as usize) as u32 != my_node) as u32,
+                                sg,
+                            )
                         })
                         .map(|(&sg, &b)| (sg, b));
                     match src {
@@ -349,10 +355,12 @@ impl Simulator {
                         }
                         None => {
                             // Host copy on a remote node: fabric then H2D.
+                            // lowest node id, not `.next()`: hash order is
+                            // not deterministic across map instances
                             let (_src_node, bytes) = ts
                                 .host_copies
                                 .iter()
-                                .next()
+                                .min_by_key(|(&nd, _)| nd)
                                 .map(|(&nd, &b)| (nd, b))
                                 .expect("input tile has no copy anywhere — DAG/versioning bug");
                             let net = model::link_time_s(

@@ -1,6 +1,21 @@
-//! Error norms for validation and for the GEMM-accuracy study (Fig 1).
+//! Error norms for validation and for the GEMM-accuracy study (Fig 1),
+//! plus the allocation-free finite-ness probe the fault-tolerant
+//! factorization runs after every kernel.
 
-use mixedp_tile::{DenseMatrix, Tile};
+use mixedp_tile::{DenseMatrix, Tile, TileBuf};
+
+/// Whether every element of the tile is finite (no NaN, no ±Inf).
+///
+/// Runs directly over the storage buffer — no `to_f64` materialization —
+/// so the post-kernel health check costs one streaming pass per tile and
+/// zero allocations. A 16-bit NaN/Inf is detected in its native encoding.
+pub fn tile_is_finite(t: &Tile) -> bool {
+    match t.buf() {
+        TileBuf::F64(v) => v.iter().all(|x| x.is_finite()),
+        TileBuf::F32(v) => v.iter().all(|x| x.is_finite()),
+        TileBuf::F16(v) => v.iter().all(|x| !x.is_nan() && !x.is_infinite()),
+    }
+}
 
 /// Relative Frobenius error `‖C − C_ref‖_F / ‖C_ref‖_F` between two tiles —
 /// the accuracy metric of the paper's GEMM benchmark (§IV).
@@ -68,6 +83,23 @@ mod tests {
         let b2 = Tile::from_f64(1, 2, &[1100.0, 0.0], StoragePrecision::F64);
         let e2 = gemm_relative_error(&b2, &a2);
         assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_check_catches_nan_and_inf_in_every_storage() {
+        for s in [
+            StoragePrecision::F64,
+            StoragePrecision::F32,
+            StoragePrecision::F16,
+        ] {
+            let mut t = Tile::from_f64(2, 2, &[1.0, 2.0, 3.0, 4.0], s);
+            assert!(tile_is_finite(&t), "{s:?} clean");
+            t.set(1, 0, f64::NAN);
+            assert!(!tile_is_finite(&t), "{s:?} NaN");
+            t.set(1, 0, 2.0);
+            t.set(0, 1, f64::INFINITY);
+            assert!(!tile_is_finite(&t), "{s:?} Inf");
+        }
     }
 
     #[test]

@@ -51,29 +51,67 @@
 //! [`execute_serial_ctx`] remains the deterministic single-threaded oracle:
 //! strict priority order, bit-exact run to run.
 
+use crate::fault::{FaultPlan, RetryPolicy, TaskFailure};
 use crate::graph::{TaskGraph, TaskId};
 use crate::trace::{ExecutionTrace, TaskSpan, WorkerStats};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Execution failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecuteError {
-    /// A worker panicked while running a task.
+    /// A worker thread died outside task execution (scheduler bug) — task
+    /// panics themselves are caught, retried, and reported as
+    /// [`ExecuteError::TaskFailed`].
     WorkerPanicked,
+    /// A task exhausted its retry budget; the record names the culprit.
+    TaskFailed(TaskFailure),
 }
 
 impl std::fmt::Display for ExecuteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecuteError::WorkerPanicked => write!(f, "a worker thread panicked"),
+            ExecuteError::TaskFailed(t) => write!(
+                f,
+                "task {} failed after {} attempt(s): {}",
+                t.task, t.attempt, t.cause
+            ),
         }
     }
 }
 
 impl std::error::Error for ExecuteError {}
+
+/// Execution options: the retry policy applied to panicking tasks and the
+/// (default no-op) deterministic fault-injection plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecOptions {
+    pub retry: RetryPolicy,
+    pub faults: FaultPlan,
+}
+
+/// Poison-tolerant lock: a panicking worker must never wedge the surviving
+/// workers on a poisoned mutex. Task bodies run inside `catch_unwind`, so a
+/// poisoned queue/idle lock can only mean the panic struck between guard
+/// acquisition and release of pure scheduler bookkeeping — whose state is
+/// a heap/stack of plain values, valid at every intermediate step.
+fn lock_pt<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Human-readable cause from a panic payload.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
 
 /// Ready-queue entry ordered by (priority, then younger id first so panel
 /// tasks emitted early in an iteration win ties).
@@ -148,11 +186,13 @@ struct SharedState<'g> {
     /// successor to the cache that last wrote its data.
     executed_by: Vec<AtomicUsize>,
     remaining: AtomicUsize,
-    /// Set when any task panicked (failure injection / kernel bugs): workers
-    /// then *fast-fail* — they keep draining dependency bookkeeping so
-    /// nobody waits forever, but stop invoking task bodies, so poisoned
-    /// runs return promptly instead of executing every remaining task.
+    /// Set when any task exhausted its retries: workers then *fast-fail* —
+    /// they keep draining dependency bookkeeping so nobody waits forever,
+    /// but stop invoking task bodies, so failed runs return promptly
+    /// instead of executing every remaining task.
     poisoned: AtomicBool,
+    /// The first retry-exhausted failure (the one the run reports).
+    fatal: Mutex<Option<TaskFailure>>,
 }
 
 impl SharedState<'_> {
@@ -167,7 +207,7 @@ impl SharedState<'_> {
             return false;
         }
         let wid = {
-            let mut idle = self.idle.lock().unwrap();
+            let mut idle = lock_pt(&self.idle);
             if idle.is_empty() {
                 return false;
             }
@@ -185,7 +225,7 @@ impl SharedState<'_> {
     /// Wake every parked worker (termination broadcast).
     fn wake_all(&self) {
         let drained: Vec<usize> = {
-            let mut idle = self.idle.lock().unwrap();
+            let mut idle = lock_pt(&self.idle);
             self.idle_count.store(0, Ordering::SeqCst);
             std::mem::take(&mut *idle)
         };
@@ -196,7 +236,7 @@ impl SharedState<'_> {
 
     /// Remove `wid` from the idle stack if a waker didn't already.
     fn deregister_idle(&self, wid: usize) {
-        let mut idle = self.idle.lock().unwrap();
+        let mut idle = lock_pt(&self.idle);
         if let Some(pos) = idle.iter().position(|&w| w == wid) {
             idle.swap_remove(pos);
             self.idle_count.store(idle.len(), Ordering::SeqCst);
@@ -205,7 +245,7 @@ impl SharedState<'_> {
 
     fn unpark(&self, wid: usize) {
         let p = &self.parkers[wid];
-        let mut flag = p.flag.lock().unwrap();
+        let mut flag = lock_pt(&p.flag);
         *flag = true;
         p.cv.notify_one();
     }
@@ -218,7 +258,7 @@ impl SharedState<'_> {
     }
 
     fn push_to(&self, target: usize, id: TaskId) {
-        self.queues[target].lock().unwrap().push(Ready {
+        lock_pt(&self.queues[target]).push(Ready {
             priority: self.graph.node(id).priority,
             id,
         });
@@ -238,6 +278,26 @@ pub fn execute_parallel_ctx<C: Send>(
     nthreads: usize,
     mk_ctx: impl Fn(usize) -> C + Sync,
     run: impl Fn(&mut C, TaskId) + Sync,
+) -> Result<ExecutionTrace, ExecuteError> {
+    execute_parallel_ctx_opts(graph, nthreads, mk_ctx, run, &ExecOptions::default())
+}
+
+/// [`execute_parallel_ctx`] with explicit execution options: the bounded
+/// per-task retry policy (a panicking task is re-executed up to
+/// `retry.max_attempts` times before the run fails with a structured
+/// [`ExecuteError::TaskFailed`]) and a deterministic [`FaultPlan`] for
+/// replayable failure injection.
+///
+/// Retry semantics: injected panics fire *before* the task body, so a
+/// retried injection re-runs the body on clean inputs. A genuine kernel
+/// panic mid-write may leave its output partially updated; retry is then
+/// best-effort (idempotent task bodies retry exactly).
+pub fn execute_parallel_ctx_opts<C: Send>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    mk_ctx: impl Fn(usize) -> C + Sync,
+    run: impl Fn(&mut C, TaskId) + Sync,
+    opts: &ExecOptions,
 ) -> Result<ExecutionTrace, ExecuteError> {
     assert!(nthreads > 0);
     let n = graph.len();
@@ -281,11 +341,13 @@ pub fn execute_parallel_ctx<C: Send>(
         executed_by: (0..n).map(|_| AtomicUsize::new(NO_WORKER)).collect(),
         remaining: AtomicUsize::new(n),
         poisoned: AtomicBool::new(false),
+        fatal: Mutex::new(None),
     };
 
     let t0 = Instant::now();
-    let results: Vec<Mutex<(Vec<TaskSpan>, WorkerStats)>> = (0..nthreads)
-        .map(|_| Mutex::new((Vec::new(), WorkerStats::default())))
+    type WorkerResult = (Vec<TaskSpan>, WorkerStats, Vec<TaskFailure>);
+    let results: Vec<Mutex<WorkerResult>> = (0..nthreads)
+        .map(|_| Mutex::new((Vec::new(), WorkerStats::default(), Vec::new())))
         .collect();
 
     let state = &state;
@@ -299,6 +361,7 @@ pub fn execute_parallel_ctx<C: Send>(
         let mut ctx = mk_ctx(wid);
         let mut stats = WorkerStats::default();
         let mut my_spans: Vec<TaskSpan> = Vec::new();
+        let mut my_failures: Vec<TaskFailure> = Vec::new();
         let nw = state.nworkers();
         // Private batch of stolen tasks, worst-priority first so the best
         // is an O(1) pop off the back. Running a stolen chunk privately
@@ -315,7 +378,7 @@ pub fn execute_parallel_ctx<C: Send>(
             //    skips the lock when the queue is known empty.
             let mut task = None;
             if state.lens[wid].load(Ordering::Acquire) > 0 {
-                let popped = state.queues[wid].lock().unwrap().pop();
+                let popped = lock_pt(&state.queues[wid]).pop();
                 if popped.is_some() {
                     state.lens[wid].fetch_sub(1, Ordering::Release);
                     stats.local_pops += 1;
@@ -340,7 +403,7 @@ pub fn execute_parallel_ctx<C: Send>(
                     }
                     let mut grabbed: Vec<Ready> = Vec::new();
                     {
-                        let mut vq = state.queues[victim].lock().unwrap();
+                        let mut vq = lock_pt(&state.queues[victim]);
                         let take = vq.len().div_ceil(2).min(STEAL_CAP);
                         for _ in 0..take {
                             grabbed.push(vq.pop().unwrap());
@@ -388,7 +451,7 @@ pub fn execute_parallel_ctx<C: Send>(
                 //    (closes the race with a producer that pushed between
                 //    our failed sweep and the registration).
                 {
-                    let mut idle = state.idle.lock().unwrap();
+                    let mut idle = lock_pt(&state.idle);
                     idle.push(wid);
                     state.idle_count.store(idle.len(), Ordering::SeqCst);
                 }
@@ -399,9 +462,11 @@ pub fn execute_parallel_ctx<C: Send>(
                 stats.parks += 1;
                 {
                     let p = &state.parkers[wid];
-                    let mut flag = p.flag.lock().unwrap();
+                    let mut flag = lock_pt(&p.flag);
                     while !*flag {
-                        let (f, timeout) = p.cv.wait_timeout(flag, PARK_BACKSTOP).unwrap();
+                        let (f, timeout) =
+                            p.cv.wait_timeout(flag, PARK_BACKSTOP)
+                                .unwrap_or_else(|e| e.into_inner());
                         flag = f;
                         if timeout.timed_out() {
                             break;
@@ -415,16 +480,50 @@ pub fn execute_parallel_ctx<C: Send>(
             };
 
             // Execute. Failure injection / kernel bugs must not deadlock
-            // the pool: catch the panic, poison the run, and keep the
-            // dependency bookkeeping going so every worker drains and
-            // exits. Once poisoned, task bodies are skipped entirely
-            // (fast-fail) — only the bookkeeping below still runs.
+            // the pool: catch the panic, retry under the bounded policy,
+            // and on exhaustion record the structured failure, poison the
+            // run, and keep the dependency bookkeeping going so every
+            // worker drains and exits. Once poisoned, task bodies are
+            // skipped entirely (fast-fail) — only the bookkeeping below
+            // still runs.
             let start = t0.elapsed().as_nanos() as u64;
             if !state.poisoned.load(Ordering::Acquire) {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&mut ctx, id)));
-                if outcome.is_err() {
-                    state.poisoned.store(true, Ordering::Release);
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if !opts.faults.is_noop() && opts.faults.inject_panic(id as u64, attempt) {
+                            panic!(
+                                "injected fault (plan seed {}, task {id}, attempt {attempt})",
+                                opts.faults.seed()
+                            );
+                        }
+                        run(&mut ctx, id)
+                    }));
+                    let payload = match outcome {
+                        Ok(()) => break,
+                        Err(p) => p,
+                    };
+                    let failure = TaskFailure {
+                        task: id,
+                        attempt,
+                        cause: panic_cause(payload),
+                    };
+                    my_failures.push(failure.clone());
+                    if attempt >= opts.retry.max_attempts {
+                        let mut fatal = lock_pt(&state.fatal);
+                        if fatal.is_none() {
+                            *fatal = Some(failure);
+                        }
+                        drop(fatal);
+                        state.poisoned.store(true, Ordering::Release);
+                        break;
+                    }
+                    stats.retries += 1;
+                    let back = opts.retry.backoff_ns(&opts.faults, id as u64, attempt);
+                    if back > 0 {
+                        std::thread::sleep(Duration::from_nanos(back));
+                    }
                 }
                 let end = t0.elapsed().as_nanos() as u64;
                 my_spans.push(TaskSpan {
@@ -471,7 +570,7 @@ pub fn execute_parallel_ctx<C: Send>(
                 {
                     // drain from the front: the stash is worst-first, so
                     // we publish the lower-priority half and keep the best
-                    let mut q = state.queues[wid].lock().unwrap();
+                    let mut q = lock_pt(&state.queues[wid]);
                     q.extend(stash.drain(..give));
                 }
                 state.lens[wid].fetch_add(give, Ordering::SeqCst);
@@ -484,9 +583,10 @@ pub fn execute_parallel_ctx<C: Send>(
             }
         }
 
-        let mut slot = results[wid].lock().unwrap();
+        let mut slot = lock_pt(&results[wid]);
         slot.0.append(&mut my_spans);
         slot.1 = stats;
+        slot.2.append(&mut my_failures);
     };
 
     let scope_panicked = std::thread::scope(|s| {
@@ -494,18 +594,26 @@ pub fn execute_parallel_ctx<C: Send>(
         handles.into_iter().any(|h| h.join().is_err())
     });
 
-    if scope_panicked || state.poisoned.load(Ordering::Acquire) {
+    if scope_panicked {
+        return Err(ExecuteError::WorkerPanicked);
+    }
+    if let Some(f) = lock_pt(&state.fatal).take() {
+        return Err(ExecuteError::TaskFailed(f));
+    }
+    if state.poisoned.load(Ordering::Acquire) {
         return Err(ExecuteError::WorkerPanicked);
     }
     let mut all: Vec<TaskSpan> = Vec::with_capacity(n);
     let mut stats: Vec<WorkerStats> = Vec::with_capacity(nthreads);
+    let mut failures: Vec<TaskFailure> = Vec::new();
     for m in results {
-        let mut slot = m.lock().unwrap();
+        let mut slot = lock_pt(m);
         all.append(&mut slot.0);
         stats.push(slot.1);
+        failures.append(&mut slot.2);
     }
     all.sort_by_key(|s| s.start_ns);
-    Ok(ExecutionTrace::with_worker_stats(all, nthreads, stats))
+    Ok(ExecutionTrace::with_worker_stats(all, nthreads, stats).with_failures(failures))
 }
 
 /// Execute every task of `graph` on `nthreads` workers (context-free form).
@@ -685,6 +793,73 @@ pub fn execute_serial(graph: &TaskGraph, mut run: impl FnMut(TaskId)) -> Vec<Tas
     execute_serial_ctx(graph, &mut (), |(), id| run(id))
 }
 
+/// [`execute_serial_ctx`] under an [`ExecOptions`] fault/retry policy —
+/// the single-threaded oracle for fault-injected runs. Returns the
+/// execution order together with every failed attempt (recovered or not);
+/// a task that exhausts its retry budget fails the run with
+/// [`ExecuteError::TaskFailed`].
+pub fn execute_serial_ctx_opts<C>(
+    graph: &TaskGraph,
+    ctx: &mut C,
+    mut run: impl FnMut(&mut C, TaskId),
+    opts: &ExecOptions,
+) -> Result<(Vec<TaskId>, Vec<TaskFailure>), ExecuteError> {
+    let n = graph.len();
+    let dependents = graph.dependents();
+    let mut counts = graph.dep_counts();
+    let mut heap: BinaryHeap<Ready> = graph
+        .iter()
+        .filter(|(_, node)| node.deps.is_empty())
+        .map(|(id, node)| Ready {
+            priority: node.priority,
+            id,
+        })
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut failures: Vec<TaskFailure> = Vec::new();
+    while let Some(r) = heap.pop() {
+        let id = r.id;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if !opts.faults.is_noop() && opts.faults.inject_panic(id as u64, attempt) {
+                    panic!(
+                        "injected fault (plan seed {}, task {id}, attempt {attempt})",
+                        opts.faults.seed()
+                    );
+                }
+                run(ctx, id)
+            }));
+            let payload = match outcome {
+                Ok(()) => break,
+                Err(p) => p,
+            };
+            let failure = TaskFailure {
+                task: id,
+                attempt,
+                cause: panic_cause(payload),
+            };
+            failures.push(failure.clone());
+            if attempt >= opts.retry.max_attempts {
+                return Err(ExecuteError::TaskFailed(failure));
+            }
+        }
+        order.push(id);
+        for &dep in &dependents[id] {
+            counts[dep] -= 1;
+            if counts[dep] == 0 {
+                heap.push(Ready {
+                    priority: graph.node(dep).priority,
+                    id: dep,
+                });
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "graph had unreachable tasks (cycle?)");
+    Ok((order, failures))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -804,7 +979,14 @@ mod tests {
         // either the scope propagates the panic (Err from catch_unwind) or
         // we get the structured error — both are acceptable, hanging is not
         if let Ok(inner) = r {
-            assert_eq!(inner.unwrap_err(), ExecuteError::WorkerPanicked);
+            match inner.unwrap_err() {
+                ExecuteError::TaskFailed(f) => {
+                    assert_eq!(f.task, 7);
+                    assert_eq!(f.attempt, RetryPolicy::default().max_attempts);
+                    assert!(f.cause.contains("injected failure"), "{}", f.cause);
+                }
+                e => panic!("expected TaskFailed, got {e:?}"),
+            }
         }
     }
 
@@ -824,13 +1006,86 @@ mod tests {
             })
         }));
         if let Ok(inner) = r {
-            assert_eq!(inner.unwrap_err(), ExecuteError::WorkerPanicked);
+            assert!(matches!(inner.unwrap_err(), ExecuteError::TaskFailed(_)));
         }
+        // task 0 runs once per attempt of the default retry policy; no task
+        // after the poison may run at all
         assert_eq!(
             bodies_run.load(Ordering::SeqCst),
-            1,
+            RetryPolicy::default().max_attempts as u64,
             "tasks after the poison must be drained, not executed"
         );
+    }
+
+    #[test]
+    fn persistent_injected_panic_reports_task_failed_with_retries_exhausted() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(vec![], 0);
+        }
+        let opts = ExecOptions {
+            faults: FaultPlan::seeded(42).with_persistent_panic_at(3),
+            retry: RetryPolicy::default(),
+        };
+        let err = execute_parallel_ctx_opts(&g, 2, |_| (), |_, _| (), &opts).unwrap_err();
+        match err {
+            ExecuteError::TaskFailed(f) => {
+                assert_eq!(f.task, 3);
+                assert_eq!(f.attempt, opts.retry.max_attempts);
+                assert!(f.cause.contains("injected fault"), "{}", f.cause);
+            }
+            e => panic!("expected TaskFailed, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_injected_panic_is_retried_to_success() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(vec![], 0);
+        }
+        // fault only on attempt 1 of task 5: the retry must recover
+        let opts = ExecOptions {
+            faults: FaultPlan::seeded(7).with_panic_at(5, 1),
+            retry: RetryPolicy::default(),
+        };
+        let ran: Vec<AtomicU64> = (0..g.len()).map(|_| AtomicU64::new(0)).collect();
+        let trace = execute_parallel_ctx_opts(
+            &g,
+            2,
+            |_| (),
+            |_, id| {
+                ran[id].fetch_add(1, Ordering::SeqCst);
+            },
+            &opts,
+        )
+        .unwrap();
+        assert!(ran.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert_eq!(trace.failures().len(), 1);
+        assert_eq!(trace.failures()[0].task, 5);
+        assert_eq!(trace.failures()[0].attempt, 1);
+        assert_eq!(trace.total_stats().retries, 1);
+    }
+
+    #[test]
+    fn serial_opts_matches_parallel_failure_semantics() {
+        let g = chain(10);
+        let opts = ExecOptions {
+            faults: FaultPlan::seeded(9).with_panic_at(4, 1),
+            retry: RetryPolicy::default(),
+        };
+        let (order, failures) = execute_serial_ctx_opts(&g, &mut (), |_, _| (), &opts).unwrap();
+        assert_eq!(order.len(), 10);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].task, 4);
+
+        // persistent fault → typed failure naming the culprit
+        let opts = ExecOptions {
+            faults: FaultPlan::seeded(9).with_persistent_panic_at(4),
+            retry: RetryPolicy::default(),
+        };
+        let err = execute_serial_ctx_opts(&g, &mut (), |_, _| (), &opts).unwrap_err();
+        assert!(matches!(err, ExecuteError::TaskFailed(f) if f.task == 4));
     }
 
     #[test]

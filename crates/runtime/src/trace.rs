@@ -1,5 +1,6 @@
 //! Execution traces: per-task spans for occupancy and Gantt analysis.
 
+use crate::fault::TaskFailure;
 use crate::graph::TaskId;
 
 /// One executed task: which worker ran it and when (ns since run start).
@@ -39,6 +40,9 @@ pub struct WorkerStats {
     /// Ready tasks this worker dispatched to another worker's queue
     /// because of an affinity hint.
     pub affinity_dispatches: u64,
+    /// Task attempts that failed (panicked) and were re-executed under the
+    /// retry policy — each one a recovered fault.
+    pub retries: u64,
 }
 
 impl WorkerStats {
@@ -52,6 +56,7 @@ impl WorkerStats {
         self.parks += o.parks;
         self.wakes += o.wakes;
         self.affinity_dispatches += o.affinity_dispatches;
+        self.retries += o.retries;
     }
 }
 
@@ -61,6 +66,7 @@ pub struct ExecutionTrace {
     spans: Vec<TaskSpan>,
     nworkers: usize,
     worker_stats: Vec<WorkerStats>,
+    failures: Vec<TaskFailure>,
 }
 
 impl ExecutionTrace {
@@ -69,6 +75,7 @@ impl ExecutionTrace {
             spans,
             nworkers,
             worker_stats: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -83,7 +90,23 @@ impl ExecutionTrace {
             spans,
             nworkers,
             worker_stats,
+            failures: Vec::new(),
         }
+    }
+
+    /// Attach the failed-attempt records of the run (sorted by task id so
+    /// the log is schedule-independent). On a successful run these are the
+    /// faults that retries recovered from.
+    pub fn with_failures(mut self, mut failures: Vec<TaskFailure>) -> Self {
+        failures.sort_by_key(|f| (f.task, f.attempt));
+        self.failures = failures;
+        self
+    }
+
+    /// Every failed task attempt observed during the run, including the
+    /// ones a retry subsequently recovered.
+    pub fn failures(&self) -> &[TaskFailure] {
+        &self.failures
     }
 
     pub fn spans(&self) -> &[TaskSpan] {
@@ -194,6 +217,7 @@ mod tests {
             parks: 2,
             wakes: 1,
             affinity_dispatches: 1,
+            retries: 1,
         };
         let b = WorkerStats {
             tasks: 1,
@@ -205,7 +229,28 @@ mod tests {
         assert_eq!(tot.tasks, 4);
         assert_eq!(tot.stolen_tasks, 2);
         assert_eq!(tot.failed_steals, 4);
+        assert_eq!(tot.retries, 1);
         assert_eq!(t.worker_stats().len(), 2);
+    }
+
+    #[test]
+    fn failures_attach_sorted() {
+        use crate::fault::TaskFailure;
+        let t = ExecutionTrace::new(vec![], 1).with_failures(vec![
+            TaskFailure {
+                task: 9,
+                attempt: 1,
+                cause: "b".into(),
+            },
+            TaskFailure {
+                task: 2,
+                attempt: 2,
+                cause: "a".into(),
+            },
+        ]);
+        assert_eq!(t.failures().len(), 2);
+        assert_eq!(t.failures()[0].task, 2);
+        assert_eq!(t.failures()[1].task, 9);
     }
 
     #[test]

@@ -91,7 +91,9 @@ fn main() {
     // (b) MP solves + iterative refinement to FP64 residuals (matrix-free
     // residuals through the tiled original)
     let refined = predict_with_solver(&model, &train, &ztr, &test, theta, |b| {
-        solve_refined(&l_mp, |v| sigma.matvec(v), b, 1e-12, 30).x
+        solve_refined(&l_mp, |v| sigma.matvec(v), b, 1e-12, 30)
+            .expect("refinement diverged")
+            .x
     })
     .unwrap();
     println!("MP kriging + refinement MSPE {:.4}", mspe(&refined, &zte));

@@ -20,6 +20,10 @@ cargo test --offline --workspace -q
 echo "== scheduler property tests (release: steal races at full speed)"
 cargo test --offline -q --release -p mixedp-runtime
 
+echo "== fault-injection recovery tests (release, multiple seeds)"
+FAULT_SEEDS="1,7,42,20260807,987654321" \
+    cargo test --offline -q --release -p mixedp-core --test fault_recovery
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== kernel perf snapshot (BENCH_kernels.json)"
     cargo run --offline --release -p mixedp-bench --bin bench_kernels
