@@ -16,7 +16,8 @@
 use std::time::Instant;
 
 use mixedp_bench::Args;
-use mixedp_fp::{Precision, StoragePrecision};
+use mixedp_core::wire::{pack_tile_into, quantize_through_wire, reference_through_wire, Packing};
+use mixedp_fp::{CommPrecision, Precision, StoragePrecision};
 use mixedp_kernels::{
     blas, gemm_tile_ws, potrf_blocked_f64, reference_gemm_nt_f64, reference_potrf_f64,
     reference_syrk_ln_f64, Workspace,
@@ -142,6 +143,42 @@ fn main() {
     println!("gemm blocked-vs-reference speedup: {gemm_speedup:.2}x");
     println!("syrk blocked-vs-reference speedup: {syrk_speedup:.2}x");
 
+    // Conversion / pack throughput: the wire engine's fused one-pass
+    // quantization vs the old two-pass (narrow Tile then widen) route, plus
+    // the fused convert-and-pack itself, per wire precision.
+    let elems = (n * n) as f64;
+    let conv_src = Tile::from_f64(n, n, &a, StoragePrecision::F64);
+    let mut conv_rows: Vec<(&'static str, f64, f64, f64)> = Vec::new();
+    for (wname, wire) in [
+        ("fp16", CommPrecision::Fp16),
+        ("fp32", CommPrecision::Fp32),
+        ("fp64", CommPrecision::Fp64),
+    ] {
+        let mut sink = Tile::zeros(1, 1, StoragePrecision::F64);
+        let t_fused = median_secs(reps, || {
+            sink = quantize_through_wire(&conv_src, wire);
+        });
+        let t_two = median_secs(reps, || {
+            sink = reference_through_wire(&conv_src, wire);
+        });
+        let mut buf = Vec::new();
+        let t_pack = median_secs(reps, || {
+            buf.clear();
+            pack_tile_into(&conv_src, wire, Packing::Full, &mut buf);
+        });
+        let row = (
+            wname,
+            elems / t_fused / 1e6,
+            elems / t_two / 1e6,
+            elems / t_pack / 1e6,
+        );
+        println!(
+            "convert {wname}: fused {:.1} Melem/s, two-pass {:.1} Melem/s, pack {:.1} Melem/s",
+            row.1, row.2, row.3
+        );
+        conv_rows.push(row);
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"n\": {n},\n  \"reps\": {reps},\n"));
     json.push_str("  \"kernels\": {\n");
@@ -160,8 +197,16 @@ fn main() {
         "  \"syrk_speedup_vs_reference\": {syrk_speedup:.3},\n"
     ));
     json.push_str(&format!(
-        "  \"workspace_reallocs_per_task\": {allocs_per_task}\n"
+        "  \"workspace_reallocs_per_task\": {allocs_per_task},\n"
     ));
+    json.push_str("  \"conversion\": {\n");
+    for (i, (wname, fused, two, pack)) in conv_rows.iter().enumerate() {
+        let comma = if i + 1 == conv_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{wname}\": {{\"fused_melems\": {fused:.2}, \"two_pass_melems\": {two:.2}, \"pack_melems\": {pack:.2}}}{comma}\n"
+        ));
+    }
+    json.push_str("  }\n");
     json.push_str("}\n");
     std::fs::write(&out, json).expect("write BENCH_kernels.json");
     println!("wrote {out}");

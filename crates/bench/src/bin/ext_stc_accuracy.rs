@@ -59,8 +59,8 @@ fn main() {
         );
     }
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>12}",
-        "app", "policy", "wire MB", "vs TTC bytes", "‖A-LLᵀ‖/‖A‖", "msgs"
+        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>14} {:>12}",
+        "app", "policy", "wire MB", "vs TTC bytes", "vs naive wire", "‖A-LLᵀ‖/‖A‖", "msgs"
     );
     for app in App::ALL {
         let mut rng = StdRng::seed_from_u64(17);
@@ -102,20 +102,24 @@ fn main() {
                         )
                     };
                     println!(
-                        "{:<12} {:>10} {:>12.2} {:>13.0}% {:>14.2e} {:>12}{recovery}",
+                        "{:<12} {:>10} {:>12.2} {:>13.0}% {:>13.0}% {:>14.2e} {:>12}{recovery}",
                         app.label(),
                         format!("{policy:?}"),
                         stats.wire_bytes as f64 / 1e6,
-                        100.0 * stats.wire_bytes as f64 / stats.ttc_bytes.max(1) as f64,
+                        // packed payloads vs the rank-deduplicated TTC baseline
+                        100.0 * stats.payload_bytes as f64 / stats.ttc_bytes.max(1) as f64,
+                        // framed buffers vs the naive per-consumer-fetch wire
+                        100.0 * stats.wire_bytes as f64 / stats.consumer_ttc_bytes.max(1) as f64,
                         err,
                         stats.messages
                     );
                 }
                 Err(e @ DistError::WireFailed { .. }) => {
                     println!(
-                        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>12}   {e}",
+                        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>14} {:>12}   {e}",
                         app.label(),
                         format!("{policy:?}"),
+                        "-",
                         "-",
                         "-",
                         "WIRE FAILED",
@@ -124,9 +128,10 @@ fn main() {
                 }
                 Err(DistError::NotSpd(_)) => {
                     println!(
-                        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>12}",
+                        "{:<12} {:>10} {:>12} {:>14} {:>14} {:>14} {:>12}",
                         app.label(),
                         format!("{policy:?}"),
+                        "-",
                         "-",
                         "-",
                         "NOT SPD",

@@ -28,6 +28,7 @@ pub mod refine;
 pub mod report;
 pub mod simulate;
 pub mod tlr;
+pub mod wire;
 
 pub use band_map::{banded_map, banded_map_matching_storage};
 pub use conversion::{plan_conversions, ConversionPlan, Strategy};
@@ -42,3 +43,7 @@ pub use mle::MpBackend;
 pub use precision_map::{uniform_map, PrecisionMap};
 pub use refine::{solve_refined, RefineError, RefineResult};
 pub use simulate::{build_sim_tasks, simulate_cholesky, CholeskySimOptions};
+pub use wire::{
+    broadcast_hops, broadcast_rounds, framed_tile_bytes, pack_tile_into, packed_bytes,
+    quantize_through_wire, unpack_message, unpack_tile, FrameMeta, Packing, WireError,
+};

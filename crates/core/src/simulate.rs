@@ -16,6 +16,7 @@
 use crate::conversion::{plan_conversions, ConversionPlan, Strategy};
 use crate::factorize::{build_dag, CholeskyTask};
 use crate::precision_map::PrecisionMap;
+use crate::wire::{framed_tile_bytes, Packing};
 use mixedp_fp::{comm_of_storage, comm_requirement, CommPrecision, Precision};
 use mixedp_gpusim::{ClusterSpec, SimConfig, SimInput, SimKernel, SimReport, SimTask, Simulator};
 use mixedp_kernels::trsm_effective_precision;
@@ -54,6 +55,12 @@ fn wire_of(
 
 /// Build a [`SimInput`] for a consumer reading tile `(i, j)` with kernel
 /// input requirement `req`.
+///
+/// The payload size is the *real* packed-wire message size
+/// ([`framed_tile_bytes`]): message + frame headers plus the fused
+/// convert-and-pack payload — lower-triangle-packed when the tile is a
+/// factored diagonal block (`i == j`), exactly what the distributed engine
+/// ships.
 #[allow(clippy::too_many_arguments)]
 fn input_for(
     plan: &ConversionPlan,
@@ -66,12 +73,17 @@ fn input_for(
     nb: usize,
 ) -> SimInput {
     let wire = wire_of(plan, pmap, strategy, i, j);
-    let elems = (nb * nb) as u64;
-    let mut inp = SimInput::plain(tile_id, elems * wire.bytes() as u64);
+    let packing = if i == j {
+        Packing::Lower
+    } else {
+        Packing::Full
+    };
+    let mut inp = SimInput::plain(tile_id, framed_tile_bytes(nb, nb, wire, packing) as u64);
     if wire != req {
         // Receiver-side conversion (down-cast under TTC, widening for the
-        // FP64 diagonal kernels under either strategy).
-        inp.recv_convert_elems = elems;
+        // FP64 diagonal kernels under either strategy) — one element per
+        // packed payload slot.
+        inp.recv_convert_elems = packing.elems(nb, nb) as u64;
         inp.recv_convert_from = wire.bytes();
         inp.recv_convert_to = req.bytes();
     }

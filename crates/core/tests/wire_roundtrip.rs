@@ -1,0 +1,189 @@
+//! Property tests of the packed-wire engine: fused pack/unpack is
+//! bit-identical to the two-pass conversion route on every precision pair
+//! and tile shape, framing round-trips, and malformed buffers always fail
+//! with a typed error — never a panic.
+
+use mixedp_core::wire::{
+    begin_message, pack_tile_into, packed_bytes, push_frame, quantize_through_wire,
+    reference_through_wire, seal_message, unpack_message, unpack_tile, FrameMeta, Packing,
+    WireError,
+};
+use mixedp_fp::{CommPrecision, StoragePrecision};
+use mixedp_tile::Tile;
+use proptest::prelude::*;
+
+const STORAGES: [StoragePrecision; 3] = [
+    StoragePrecision::F16,
+    StoragePrecision::F32,
+    StoragePrecision::F64,
+];
+const WIRES: [CommPrecision; 3] = [
+    CommPrecision::Fp16,
+    CommPrecision::Fp32,
+    CommPrecision::Fp64,
+];
+
+fn tile_from_seed(rows: usize, cols: usize, storage: StoragePrecision, seed: u64) -> Tile {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 4.0 - 2.0
+        })
+        .collect();
+    Tile::from_f64(rows, cols, &data, storage)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full packing: `unpack(pack(t))` is bit-identical to
+    /// `t.converted_to(wire.as_storage())` widened back — on square *and*
+    /// ragged shapes, every (storage, wire) pair.
+    #[test]
+    fn full_pack_roundtrip_is_bit_identical(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        sidx in 0usize..3,
+        widx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (storage, wire) = (STORAGES[sidx], WIRES[widx]);
+        let t = tile_from_seed(rows, cols, storage, seed);
+        let mut buf = Vec::new();
+        pack_tile_into(&t, wire, Packing::Full, &mut buf);
+        prop_assert_eq!(buf.len(), packed_bytes(rows, cols, wire, Packing::Full));
+        let meta = FrameMeta { i: 0, j: 0, rows, cols, wire, packing: Packing::Full };
+        let got = unpack_tile(&buf, &meta, storage).unwrap();
+        let want = t.converted_to(wire.as_storage()).converted_to(storage);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Lower packing on a factored-style (lower-triangular) diagonal tile
+    /// round-trips bit-identically at ~half the payload bytes.
+    #[test]
+    fn lower_pack_roundtrip_is_bit_identical(
+        n in 1usize..24,
+        sidx in 0usize..3,
+        widx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (storage, wire) = (STORAGES[sidx], WIRES[widx]);
+        let mut t = tile_from_seed(n, n, storage, seed);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                t.set(i, j, 0.0);
+            }
+        }
+        let mut buf = Vec::new();
+        pack_tile_into(&t, wire, Packing::Lower, &mut buf);
+        prop_assert_eq!(buf.len(), n * (n + 1) / 2 * wire.bytes());
+        let meta = FrameMeta { i: 1, j: 1, rows: n, cols: n, wire, packing: Packing::Lower };
+        let got = unpack_tile(&buf, &meta, storage).unwrap();
+        let want = t.converted_to(wire.as_storage()).converted_to(storage);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The fused single-pass quantization equals the old allocate-narrow-
+    /// widen route bit for bit (the `through_wire` fix's safety net).
+    #[test]
+    fn fused_quantize_matches_double_conversion(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        sidx in 0usize..3,
+        widx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (storage, wire) = (STORAGES[sidx], WIRES[widx]);
+        let t = tile_from_seed(rows, cols, storage, seed);
+        prop_assert_eq!(
+            quantize_through_wire(&t, wire),
+            reference_through_wire(&t, wire)
+        );
+    }
+
+    /// A coalesced multi-frame message round-trips every frame in order
+    /// with its own wire precision and per-tile receiver storage.
+    #[test]
+    fn framed_message_roundtrips(
+        nframes in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut tiles = Vec::new();
+        for f in 0..nframes {
+            let s = seed.wrapping_add(f as u64);
+            let storage = STORAGES[(s % 3) as usize];
+            let wire = WIRES[((s / 3) % 3) as usize];
+            let rows = 1 + (s % 7) as usize;
+            let cols = 1 + ((s / 7) % 7) as usize;
+            tiles.push((f, tile_from_seed(rows, cols, storage, s), wire));
+        }
+        let mut buf = Vec::new();
+        begin_message(&mut buf);
+        for (f, t, wire) in &tiles {
+            push_frame(&mut buf, *f, 0, t, *wire, Packing::Full);
+        }
+        seal_message(&mut buf);
+        let got = unpack_message(&buf, |i, _| tiles[i].1.storage()).unwrap();
+        prop_assert_eq!(got.len(), nframes);
+        for ((f, t, wire), (meta, u)) in tiles.iter().zip(&got) {
+            prop_assert_eq!(meta.i, *f);
+            prop_assert_eq!(u, &quantize_through_wire(t, *wire));
+        }
+    }
+
+    /// Every truncation of a valid message is a typed error — the decoder
+    /// never panics and never accepts a short buffer.
+    #[test]
+    fn truncated_messages_are_typed_errors(
+        n in 1usize..8,
+        widx in 0usize..3,
+        seed in 0u64..500,
+        frac in 0.0f64..1.0,
+    ) {
+        let wire = WIRES[widx];
+        let t = tile_from_seed(n, n, StoragePrecision::F64, seed);
+        let mut buf = Vec::new();
+        begin_message(&mut buf);
+        push_frame(&mut buf, 0, 0, &t, wire, Packing::Full);
+        seal_message(&mut buf);
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        let err = unpack_message(&buf[..cut], |_, _| StoragePrecision::F64).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            WireError::Truncated { .. } | WireError::BodyLength { .. }
+        ));
+    }
+
+    /// Arbitrary single-byte corruption never panics: the decoder returns
+    /// either a typed error or (for payload-byte flips, which are the
+    /// integrity layer's job) a decoded message.
+    #[test]
+    fn corrupted_messages_never_panic(
+        n in 1usize..8,
+        widx in 0usize..3,
+        seed in 0u64..500,
+        pos_frac in 0.0f64..1.0,
+        xor in 1usize..256,
+    ) {
+        let wire = WIRES[widx];
+        let t = tile_from_seed(n, n, StoragePrecision::F32, seed);
+        let mut buf = Vec::new();
+        begin_message(&mut buf);
+        push_frame(&mut buf, 0, 0, &t, wire, Packing::Lower);
+        seal_message(&mut buf);
+        let pos = (((buf.len() - 1) as f64) * pos_frac) as usize;
+        buf[pos] ^= xor as u8;
+        let _ = unpack_message(&buf, |_, _| StoragePrecision::F32);
+        // corrupting the magic specifically must be caught
+        if pos < 4 {
+            prop_assert!(matches!(
+                unpack_message(&buf, |_, _| StoragePrecision::F32).unwrap_err(),
+                WireError::BadMagic(_)
+            ));
+        }
+    }
+}

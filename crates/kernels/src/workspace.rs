@@ -87,6 +87,10 @@ pub struct Workspace {
     pub c16: TrackedBuf<f16>,
     /// Scratch for blocked POTRF's diagonal/panel staging.
     pub p64: TrackedBuf<f64>,
+    /// Byte scratch for packed wire messages (fused convert-and-pack
+    /// serialization): one growable buffer per worker, reused across every
+    /// message it assembles.
+    pub wire: TrackedBuf<u8>,
 }
 
 impl Workspace {
@@ -102,6 +106,7 @@ impl Workspace {
             b16: TrackedBuf::new(),
             c16: TrackedBuf::new(),
             p64: TrackedBuf::new(),
+            wire: TrackedBuf::new(),
         }
     }
 
@@ -118,6 +123,7 @@ impl Workspace {
             + self.b16.grow_events()
             + self.c16.grow_events()
             + self.p64.grow_events()
+            + self.wire.grow_events()
     }
 }
 

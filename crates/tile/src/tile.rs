@@ -62,6 +62,13 @@ impl Tile {
         Tile { rows, cols, buf }
     }
 
+    /// Assemble a tile from an already-materialized backing buffer (e.g. a
+    /// wire unpacker's output) without copying or re-rounding.
+    pub fn from_buf(rows: usize, cols: usize, buf: TileBuf) -> Self {
+        assert_eq!(buf.len(), rows * cols, "tile buffer length mismatch");
+        Tile { rows, cols, buf }
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }

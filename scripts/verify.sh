@@ -24,11 +24,17 @@ echo "== fault-injection recovery tests (release, multiple seeds)"
 FAULT_SEEDS="1,7,42,20260807,987654321" \
     cargo test --offline -q --release -p mixedp-core --test fault_recovery
 
+echo "== packed-wire property tests (release)"
+cargo test --offline -q --release -p mixedp-core --test wire_roundtrip
+cargo test --offline -q --release -p mixedp-core wire::
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     echo "== kernel perf snapshot (BENCH_kernels.json)"
     cargo run --offline --release -p mixedp-bench --bin bench_kernels
     echo "== scheduler perf snapshot (BENCH_scheduler.json, quick)"
     cargo run --offline --release -p mixedp-bench --bin bench_scheduler -- --quick
+    echo "== wire data-motion snapshot (BENCH_wire.json)"
+    cargo run --offline --release -p mixedp-bench --bin bench_wire -- --reps=3
 fi
 
 echo "verify: OK"
