@@ -13,8 +13,7 @@
 //! Run: `cargo run --release -p mixedp-bench --bin bench_kernels`
 //! Options: `--n=256 --reps=7 --out=BENCH_kernels.json`
 
-use std::time::Instant;
-
+use mixedp_bench::timing::{median_secs, pseudo};
 use mixedp_bench::Args;
 use mixedp_core::wire::{pack_tile_into, quantize_through_wire, reference_through_wire, Packing};
 use mixedp_fp::{CommPrecision, Precision, StoragePrecision};
@@ -23,32 +22,6 @@ use mixedp_kernels::{
     reference_syrk_ln_f64, Workspace,
 };
 use mixedp_tile::Tile;
-
-fn pseudo(len: usize, seed: u64) -> Vec<f64> {
-    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    (0..len)
-        .map(|_| {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s as f64 / u64::MAX as f64) - 0.5
-        })
-        .collect()
-}
-
-/// Median wall-clock seconds of `reps` runs of `f` (one untimed warmup).
-fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
 
 struct Entry {
     name: &'static str,

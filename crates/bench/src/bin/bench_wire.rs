@@ -19,8 +19,7 @@
 //! Run: `cargo run --release -p mixedp-bench --bin bench_wire`
 //! Options: `--nb=32 --reps=5 --out=BENCH_wire.json`
 
-use std::time::Instant;
-
+use mixedp_bench::timing::{median_secs, pseudo};
 use mixedp_bench::Args;
 use mixedp_core::wire::{
     pack_tile_into, packed_bytes, quantize_through_wire, reference_through_wire, unpack_tile,
@@ -28,33 +27,8 @@ use mixedp_core::wire::{
 };
 use mixedp_core::{factorize_mp, factorize_mp_distributed, uniform_map, DistStats, WirePolicy};
 use mixedp_fp::{CommPrecision, Precision, StoragePrecision};
+use mixedp_obs as obs;
 use mixedp_tile::{Grid2d, SymmTileMatrix, Tile};
-
-fn pseudo(len: usize, seed: u64) -> Vec<f64> {
-    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    (0..len)
-        .map(|_| {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            (s as f64 / u64::MAX as f64) - 0.5
-        })
-        .collect()
-}
-
-/// Median wall-clock seconds of `reps` runs of `f` (one untimed warmup).
-fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
-}
 
 fn spd_matrix(n: usize, nb: usize) -> SymmTileMatrix {
     SymmTileMatrix::from_fn(
@@ -140,6 +114,32 @@ fn main() {
         );
         pack_rows.push(row);
     }
+
+    // ---- telemetry on/off pack delta --------------------------------------
+    // `pack_tile_into` carries two always-on registry counters plus a span
+    // that costs one relaxed load while telemetry is disabled and one ring
+    // store while enabled. Re-time the fp32 pack in both states so the
+    // instrumentation cost is tracked in the JSON.
+    let tele_pbytes = packed_bytes(pn, pn, CommPrecision::Fp32, Packing::Full);
+    let tele_moved = (src.bytes() + tele_pbytes) as f64;
+    let mut tele_buf = Vec::with_capacity(tele_pbytes);
+    let t_off = median_secs(reps, || {
+        tele_buf.clear();
+        pack_tile_into(&src, CommPrecision::Fp32, Packing::Full, &mut tele_buf);
+    });
+    obs::set_enabled(true);
+    let t_on = median_secs(reps, || {
+        tele_buf.clear();
+        pack_tile_into(&src, CommPrecision::Fp32, Packing::Full, &mut tele_buf);
+    });
+    obs::set_enabled(false);
+    obs::reset_rings();
+    let tele_pct = 100.0 * (t_on - t_off) / t_off;
+    println!(
+        "telemetry on/off: fp32 pack {:.2} -> {:.2} GB/s ({tele_pct:+.2}%)",
+        tele_moved / t_off / 1e9,
+        tele_moved / t_on / 1e9
+    );
 
     // ---- data motion ------------------------------------------------------
     let grids = [("1x1", 1usize, 1usize), ("2x2", 2, 2), ("2x4", 2, 4)];
@@ -229,6 +229,11 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"pack_fp32_gbs_off\": {:.3}, \"pack_fp32_gbs_on\": {:.3}, \"pack_pct\": {tele_pct:.2}}},\n",
+        tele_moved / t_off / 1e9,
+        tele_moved / t_on / 1e9
+    ));
     json.push_str("  \"data_motion\": [\n");
     for (i, r) in motion.iter().enumerate() {
         let comma = if i + 1 == motion.len() { "" } else { "," };

@@ -6,6 +6,7 @@
 
 use mixedp_bench::Args;
 use mixedp_core::factorize::{build_dag, CholeskyTask};
+use mixedp_obs as obs;
 use mixedp_runtime::execute_parallel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -60,7 +61,9 @@ fn main() {
     );
 
     // Asynchronous execution demo: tasks of iteration k+1 can start before
-    // iteration k has fully drained (PaRSEC's asynchrony, §III-B).
+    // iteration k has fully drained (PaRSEC's asynchrony, §III-B). The
+    // Gantt comes straight from the telemetry span stream.
+    obs::set_enabled(true);
     let max_started_iter_while_k0_running = AtomicUsize::new(0);
     let k0_running = AtomicUsize::new(0);
     let trace = execute_parallel(&dag.graph, 4, |id| {
@@ -85,6 +88,11 @@ fn main() {
         trace.occupancy() * 100.0
     );
     println!("(tasks fired as dependencies were satisfied — no iteration barriers)\n");
+    let spans = obs::collect();
+    obs::set_enabled(false);
     println!("Gantt (task-id mod 10 per slot; '·' idle):");
-    print!("{}", mixedp_runtime::render_gantt(&trace, 72));
+    print!(
+        "{}",
+        mixedp_runtime::render_gantt_with_stats(&spans, trace.worker_stats(), 72)
+    );
 }

@@ -3,6 +3,7 @@
 
 pub mod apps;
 pub mod args;
+pub mod timing;
 
 pub use apps::{approx_precision_map, App};
 pub use args::Args;

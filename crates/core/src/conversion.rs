@@ -29,6 +29,7 @@
 use crate::precision_map::PrecisionMap;
 use mixedp_fp::{comm_of_storage, comm_requirement, higher_comm, CommPrecision};
 use mixedp_kernels::trsm_effective_precision;
+use mixedp_obs as obs;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -157,8 +158,19 @@ fn plan_tile(pmap: &PrecisionMap, m: usize, j: usize) -> (CommPrecision, bool) {
     (comm, true)
 }
 
+/// Record a finished plan in the metrics registry and as a `Convert` span
+/// whose arg is the STC tile count.
+fn record_plan(plan: &ConversionPlan, start_ns: u64) {
+    static PLANS: obs::LazyCounter = obs::LazyCounter::new("convert.plans");
+    static STC_TILES: obs::LazyCounter = obs::LazyCounter::new("convert.stc_tiles");
+    PLANS.inc();
+    STC_TILES.add(plan.stc_count() as u64);
+    obs::span_end(start_ns, obs::EventKind::Convert, plan.stc_count() as u64);
+}
+
 /// Run Algorithm 2 sequentially.
 pub fn plan_conversions(pmap: &PrecisionMap) -> ConversionPlan {
+    let sp = obs::span_start();
     let nt = pmap.nt();
     let mut comm = Vec::with_capacity(nt * (nt + 1) / 2);
     let mut stc = Vec::with_capacity(nt * (nt + 1) / 2);
@@ -169,23 +181,28 @@ pub fn plan_conversions(pmap: &PrecisionMap) -> ConversionPlan {
             stc.push(s);
         }
     }
-    ConversionPlan { nt, comm, stc }
+    let plan = ConversionPlan { nt, comm, stc };
+    record_plan(&plan, sp);
+    plan
 }
 
 /// Rayon-parallel Algorithm 2 (the paper notes each tile's computation is
 /// independent).
 pub fn plan_conversions_parallel(pmap: &PrecisionMap) -> ConversionPlan {
+    let sp = obs::span_start();
     let nt = pmap.nt();
     let coords: Vec<(usize, usize)> = (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
     let planned: Vec<(CommPrecision, bool)> = coords
         .par_iter()
         .map(|&(i, j)| plan_tile(pmap, i, j))
         .collect();
-    ConversionPlan {
+    let plan = ConversionPlan {
         nt,
         comm: planned.iter().map(|&(c, _)| c).collect(),
         stc: planned.iter().map(|&(_, s)| s).collect(),
-    }
+    };
+    record_plan(&plan, sp);
+    plan
 }
 
 #[cfg(test)]

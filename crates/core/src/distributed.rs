@@ -50,6 +50,7 @@ use mixedp_gpusim::NodeSpec;
 use mixedp_kernels::{
     blas::NotSpd, gemm_tile, potrf_tile, syrk_tile, tile_is_finite, trsm_tile, Workspace,
 };
+use mixedp_obs as obs;
 use mixedp_runtime::{FaultPlan, RetryPolicy, WireFault};
 use mixedp_tile::{Grid2d, SymmTileMatrix, Tile};
 use std::collections::{BTreeMap, HashMap};
@@ -112,6 +113,40 @@ pub struct DistStats {
     /// Simulated jittered-backoff nanoseconds accumulated before
     /// retransmissions (deterministic; no real sleeping in the model).
     pub backoff_ns: u64,
+}
+
+impl DistStats {
+    /// Add this run's wire counters to the metrics registry (`wire.*`).
+    pub fn publish_metrics(&self) {
+        static MESSAGES: obs::LazyCounter = obs::LazyCounter::new("wire.messages");
+        static WIRE_BYTES: obs::LazyCounter = obs::LazyCounter::new("wire.bytes");
+        static PAYLOAD_BYTES: obs::LazyCounter = obs::LazyCounter::new("wire.payload_bytes");
+        static FRAMES: obs::LazyCounter = obs::LazyCounter::new("wire.frames");
+        static BROADCASTS: obs::LazyCounter = obs::LazyCounter::new("wire.broadcasts");
+        static DROPPED: obs::LazyCounter = obs::LazyCounter::new("wire.dropped");
+        static GARBLED: obs::LazyCounter = obs::LazyCounter::new("wire.garbled");
+        static RETRANSMITS: obs::LazyCounter = obs::LazyCounter::new("wire.retransmits");
+        MESSAGES.add(self.messages);
+        WIRE_BYTES.add(self.wire_bytes);
+        PAYLOAD_BYTES.add(self.payload_bytes);
+        FRAMES.add(self.frames);
+        BROADCASTS.add(self.broadcasts);
+        DROPPED.add(self.dropped);
+        GARBLED.add(self.garbled);
+        RETRANSMITS.add(self.retransmits);
+    }
+
+    /// The measured data-motion totals in the shape the energy accountant
+    /// consumes (conversion volume comes from `FactorStats` when the run
+    /// had one; distributed-only runs report wire motion alone).
+    pub fn motion_inputs(&self) -> obs::MotionInputs {
+        obs::MotionInputs {
+            wire_bytes: self.wire_bytes,
+            wire_messages: self.messages,
+            convert_count: 0,
+            convert_bytes: 0,
+        }
+    }
 }
 
 /// Typed failure modes of the fault-tolerant distributed factorization.
@@ -335,6 +370,7 @@ pub fn factorize_mp_distributed_ft(
                 stats.wire_bytes += buf.len() as u64;
                 stats.payload_bytes += payload;
                 stats.frames += frames.len() as u64;
+                obs::instant(obs::EventKind::WireSend, buf.len() as u64);
                 let accepted = match faults.inject_wire(site, attempt) {
                     Some(WireFault::Drop) => {
                         stats.dropped += 1;
@@ -530,6 +566,7 @@ pub fn factorize_mp_distributed_ft(
             *a.tile_mut(i, j) = it.next().unwrap().converted_to(pmap.storage(i, j));
         }
     }
+    stats.publish_metrics();
     Ok(stats)
 }
 

@@ -16,9 +16,10 @@ use mixedp_kernels::{
     syrk_tile_ws, tile_is_finite, trsm_tile_ws, ComputeBuf, KernelKind, Workspace,
     N_COMPUTE_FORMATS,
 };
+use mixedp_obs as obs;
 use mixedp_runtime::{
     execute_parallel_ctx_opts, execute_serial_ctx_opts, ExecOptions, ExecuteError, FaultPlan,
-    RetryPolicy, TaskGraph, TaskId,
+    RetryPolicy, TaskGraph, TaskId, WorkerStats,
 };
 use mixedp_tile::{SymmTileMatrix, Tile};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -217,9 +218,41 @@ pub struct FactorStats {
     /// Task attempts that panicked and were re-executed by the runtime's
     /// bounded retry policy (recovered task-level faults).
     pub task_retries: u64,
+    /// Per-worker scheduler counters of the nested executor, accumulated
+    /// elementwise across all factorization attempts (empty for serial
+    /// runs). Previously only `retries` survived the `run_attempt`
+    /// boundary; the full dispatch picture now carries through.
+    pub sched_per_worker: Vec<WorkerStats>,
+    /// Sum of `sched_per_worker` — the run's scheduler totals.
+    pub sched_totals: WorkerStats,
 }
 
 impl FactorStats {
+    /// Add this run's counters to the metrics registry: `factor.*` for
+    /// the factorization itself and `scheduler.*` for the nested
+    /// executor's accumulated per-worker totals.
+    pub fn publish_metrics(&self) {
+        static RUNS: obs::LazyCounter = obs::LazyCounter::new("factor.runs");
+        static TASKS: obs::LazyCounter = obs::LazyCounter::new("factor.tasks_run");
+        static ATTEMPTS: obs::LazyCounter = obs::LazyCounter::new("factor.attempts");
+        static ESCALATIONS: obs::LazyCounter = obs::LazyCounter::new("factor.escalations");
+        static TASK_RETRIES: obs::LazyCounter = obs::LazyCounter::new("factor.task_retries");
+        static CONV_PERFORMED: obs::LazyCounter =
+            obs::LazyCounter::new("factor.conversions_performed");
+        static CONV_AVOIDED: obs::LazyCounter = obs::LazyCounter::new("factor.conversions_avoided");
+        static CONV_BYTES_AVOIDED: obs::LazyCounter =
+            obs::LazyCounter::new("factor.conversion_bytes_avoided");
+        RUNS.inc();
+        TASKS.add(self.tasks_run as u64);
+        ATTEMPTS.add(self.factor_attempts as u64);
+        ESCALATIONS.add(self.escalations.len() as u64);
+        TASK_RETRIES.add(self.task_retries);
+        CONV_PERFORMED.add(self.conversions_performed);
+        CONV_AVOIDED.add(self.conversions_avoided);
+        CONV_BYTES_AVOIDED.add(self.conversion_bytes_avoided);
+        self.sched_totals.publish_metrics();
+    }
+
     /// Fraction of GEMM-operand conversions that STC eliminated:
     /// `avoided / (avoided + performed)`. Zero when no reduced-precision
     /// GEMMs ran.
@@ -414,9 +447,25 @@ pub fn factorize_mp(
     let nb = a.nb();
     let dag = build_dag(a.nt());
     let t0 = std::time::Instant::now();
-    match run_attempt(a, &dag, pmap, &opts, 1, true) {
-        Ok(out) => match out.first_failure() {
-            None => Ok(finish_stats(&dag, pmap, a.nb(), t0, out, 1, Vec::new(), 0)),
+    let sp = obs::span_start();
+    let attempt = run_attempt(a, &dag, pmap, &opts, 1, true);
+    obs::span_end(sp, obs::EventKind::FactorAttempt, 1);
+    match attempt {
+        Ok(mut out) => match out.first_failure() {
+            None => {
+                let sched = std::mem::take(&mut out.sched_stats);
+                Ok(finish_stats(
+                    &dag,
+                    pmap,
+                    a.nb(),
+                    t0,
+                    out,
+                    1,
+                    Vec::new(),
+                    0,
+                    sched,
+                ))
+            }
             Some((task_idx, _)) => {
                 let (i, _) = dag.tasks[task_idx].output_tile();
                 Err(NotSpd { column: i * nb })
@@ -450,12 +499,17 @@ pub fn factorize_mp_recovering(
     let mut map = pmap.clone();
     let mut escalations: Vec<EscalationEvent> = Vec::new();
     let mut task_retries = 0u64;
+    let mut sched_acc: Vec<WorkerStats> = Vec::new();
     let t0 = std::time::Instant::now();
     let mut factor_attempt = 0u32;
     loop {
         factor_attempt += 1;
-        let out = run_attempt(a, &dag, &map, opts, factor_attempt, false)?;
+        let sp = obs::span_start();
+        let attempt = run_attempt(a, &dag, &map, opts, factor_attempt, false);
+        obs::span_end(sp, obs::EventKind::FactorAttempt, factor_attempt as u64);
+        let out = attempt?;
         task_retries += out.task_retries;
+        accumulate_sched(&mut sched_acc, &out.sched_stats);
         let Some((task_idx, cause)) = out.first_failure() else {
             return Ok(finish_stats(
                 &dag,
@@ -466,6 +520,7 @@ pub fn factorize_mp_recovering(
                 factor_attempt,
                 escalations,
                 task_retries,
+                sched_acc,
             ));
         };
         let task = dag.tasks[task_idx];
@@ -488,6 +543,7 @@ pub fn factorize_mp_recovering(
             }
             changed
         };
+        obs::instant(obs::EventKind::Escalate, escalated as u64);
         let event = EscalationEvent {
             factor_attempt,
             task,
@@ -514,6 +570,11 @@ struct AttemptOutcome {
     conv_avoided: u64,
     conv_bytes_avoided: u64,
     task_retries: u64,
+    /// Per-worker counters of the nested executor (empty for serial runs).
+    /// Before these were carried, everything except `retries` was dropped
+    /// at this boundary — steals/parks/wakes of the inner scheduler were
+    /// invisible to callers.
+    sched_stats: Vec<WorkerStats>,
 }
 
 impl AttemptOutcome {
@@ -670,7 +731,9 @@ fn run_attempt(
                         let mut slots = lock_pt(&caches[ti]);
                         for (s, p) in needed.iter().enumerate() {
                             if let Some(p) = p {
-                                slots[s] = Some(Arc::new(make_compute_buf(*p, &b)));
+                                let buf = Arc::new(make_compute_buf(*p, &b));
+                                obs::instant(obs::EventKind::Convert, buf.bytes() as u64);
+                                slots[s] = Some(buf);
                                 conv_performed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -734,12 +797,12 @@ fn run_attempt(
         },
         ExecuteError::WorkerPanicked => FactorError::WorkerPanicked,
     };
-    let task_retries = if nthreads <= 1 {
+    let (task_retries, sched_stats) = if nthreads <= 1 {
         let mut ws = Workspace::new();
         let (_, rt_failures) =
             execute_serial_ctx_opts(&dag.graph, &mut ws, |ws, id| run_task(ws, id), &exec_opts)
                 .map_err(map_exec_err)?;
-        rt_failures.len() as u64
+        (rt_failures.len() as u64, Vec::new())
     } else {
         let trace = execute_parallel_ctx_opts(
             &dag.graph,
@@ -749,7 +812,7 @@ fn run_attempt(
             &exec_opts,
         )
         .map_err(map_exec_err)?;
-        trace.total_stats().retries
+        (trace.total_stats().retries, trace.worker_stats().to_vec())
     };
 
     let mut failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
@@ -778,7 +841,19 @@ fn run_attempt(
         conv_avoided: conv_avoided.into_inner(),
         conv_bytes_avoided: conv_bytes_avoided.into_inner(),
         task_retries,
+        sched_stats,
     })
+}
+
+/// Elementwise-accumulate per-worker counters across attempts (workers are
+/// identified by index; attempts all run with the same `nthreads`).
+fn accumulate_sched(into: &mut Vec<WorkerStats>, from: &[WorkerStats]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), WorkerStats::default());
+    }
+    for (d, s) in into.iter_mut().zip(from) {
+        d.accumulate(s);
+    }
 }
 
 /// Assemble the [`FactorStats`] of a successful run.
@@ -792,6 +867,7 @@ fn finish_stats(
     factor_attempts: u32,
     escalations: Vec<EscalationEvent>,
     task_retries: u64,
+    sched_per_worker: Vec<WorkerStats>,
 ) -> FactorStats {
     let (mp_bytes, fp64_bytes) = pmap.storage_bytes(nb);
     let mut counts = [0usize; 4];
@@ -803,7 +879,11 @@ fn finish_stats(
             KernelKind::Gemm => counts[3] += 1,
         }
     }
-    FactorStats {
+    let mut sched_totals = WorkerStats::default();
+    for s in &sched_per_worker {
+        sched_totals.accumulate(s);
+    }
+    let stats = FactorStats {
         tasks_run: dag.tasks.len(),
         kernel_counts: counts,
         wall_s: t0.elapsed().as_secs_f64(),
@@ -815,7 +895,11 @@ fn finish_stats(
         factor_attempts,
         escalations,
         task_retries,
-    }
+        sched_per_worker,
+        sched_totals,
+    };
+    stats.publish_metrics();
+    stats
 }
 
 #[cfg(test)]

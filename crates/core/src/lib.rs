@@ -42,6 +42,7 @@ pub use factorize::{
 pub use mle::MpBackend;
 pub use precision_map::{uniform_map, PrecisionMap};
 pub use refine::{solve_refined, RefineError, RefineResult};
+pub use report::{validate_run_report, RunReport, RUN_REPORT_VERSION};
 pub use simulate::{build_sim_tasks, simulate_cholesky, CholeskySimOptions};
 pub use wire::{
     broadcast_hops, broadcast_rounds, framed_tile_bytes, pack_tile_into, packed_bytes,

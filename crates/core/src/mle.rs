@@ -10,6 +10,7 @@ use mixedp_geostats::assemble::covariance_tiles;
 use mixedp_geostats::loglik::{assemble_loglik, LoglikBackend};
 use mixedp_geostats::{CovarianceModel, Location};
 use mixedp_kernels::blas;
+use mixedp_obs as obs;
 use mixedp_tile::{tile_fro_norms, SymmTileMatrix};
 
 /// Adaptive mixed-precision likelihood backend.
@@ -75,6 +76,20 @@ impl MpBackend {
     /// (and how) precision escalation recovered a breakdown
     /// (`stats.escalations`, `stats.factor_attempts`).
     pub fn loglik_detailed(
+        &self,
+        model: &dyn CovarianceModel,
+        locs: &[Location],
+        theta: &[f64],
+        z: &[f64],
+    ) -> Option<(f64, FactorStats)> {
+        static EVALS: obs::LazyCounter = obs::LazyCounter::new("mle.evals");
+        let sp = obs::span_start();
+        let r = self.loglik_detailed_inner(model, locs, theta, z);
+        obs::span_end(sp, obs::EventKind::MleIter, EVALS.inc());
+        r
+    }
+
+    fn loglik_detailed_inner(
         &self,
         model: &dyn CovarianceModel,
         locs: &[Location],

@@ -30,6 +30,7 @@
 
 use half::f16;
 use mixedp_fp::{CommPrecision, StoragePrecision};
+use mixedp_obs as obs;
 use mixedp_tile::{Tile, TileBuf};
 
 /// Message magic: `b"MPWR"` little-endian ("mixed-precision wire").
@@ -222,6 +223,10 @@ fn pack_src<T: Copy, const W: usize>(
 /// precision to `out`. Exactly one rounding per element (bit-identical to
 /// `t.converted_to(wire.as_storage())`), no intermediate `Tile`.
 pub fn pack_tile_into(t: &Tile, wire: CommPrecision, packing: Packing, out: &mut Vec<u8>) {
+    static PACK_TILES: obs::LazyCounter = obs::LazyCounter::new("wire.pack_tiles");
+    static PACK_BYTES: obs::LazyCounter = obs::LazyCounter::new("wire.pack_bytes");
+    let sp = obs::span_start();
+    let before = out.len();
     let (r, c) = (t.rows(), t.cols());
     match (t.buf(), wire) {
         (TileBuf::F64(v), CommPrecision::Fp64) => {
@@ -252,6 +257,10 @@ pub fn pack_tile_into(t: &Tile, wire: CommPrecision, packing: Packing, out: &mut
             pack_src(v, r, c, packing, out, |x: f16| x.to_bits().to_le_bytes())
         }
     }
+    let bytes = (out.len() - before) as u64;
+    PACK_TILES.inc();
+    PACK_BYTES.add(bytes);
+    obs::span_end(sp, obs::EventKind::WirePack, bytes);
 }
 
 /// Decode `payload` into a row-major element buffer through `conv`,
@@ -293,6 +302,23 @@ fn unpack_dst<T: Copy + Default, const W: usize>(
 /// receiving a `wire.as_storage()` tile and calling
 /// `converted_to(storage)` on it.
 pub fn unpack_tile(
+    payload: &[u8],
+    meta: &FrameMeta,
+    storage: StoragePrecision,
+) -> Result<Tile, WireError> {
+    static UNPACK_TILES: obs::LazyCounter = obs::LazyCounter::new("wire.unpack_tiles");
+    static UNPACK_BYTES: obs::LazyCounter = obs::LazyCounter::new("wire.unpack_bytes");
+    let sp = obs::span_start();
+    let r = unpack_tile_inner(payload, meta, storage);
+    if r.is_ok() {
+        UNPACK_TILES.inc();
+        UNPACK_BYTES.add(payload.len() as u64);
+    }
+    obs::span_end(sp, obs::EventKind::WireUnpack, payload.len() as u64);
+    r
+}
+
+fn unpack_tile_inner(
     payload: &[u8],
     meta: &FrameMeta,
     storage: StoragePrecision,

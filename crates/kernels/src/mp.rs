@@ -32,6 +32,7 @@ use crate::blas;
 use crate::workspace::{with_thread_workspace, Workspace};
 use half::f16;
 use mixedp_fp::Precision;
+use mixedp_obs as obs;
 use mixedp_tile::{Tile, TileBuf};
 use rayon::prelude::*;
 
@@ -146,6 +147,21 @@ pub fn potrf_tile(c: &mut Tile) -> Result<(), blas::NotSpd> {
 /// failure such a tile holds the partial factorization, as with any
 /// in-place LAPACK-style POTRF.
 pub fn potrf_tile_ws(c: &mut Tile, ws: &mut Workspace, parallel: bool) -> Result<(), blas::NotSpd> {
+    let sp = obs::span_start();
+    let r = potrf_tile_ws_inner(c, ws, parallel);
+    obs::span_end(
+        sp,
+        obs::EventKind::KernelPotrf,
+        obs::kernel_arg(Precision::Fp64, c.rows()),
+    );
+    r
+}
+
+fn potrf_tile_ws_inner(
+    c: &mut Tile,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> Result<(), blas::NotSpd> {
     let n = c.rows();
     assert_eq!(n, c.cols(), "POTRF needs a square tile");
     if let Some(a) = c.as_mut_f64_slice() {
@@ -180,6 +196,16 @@ pub fn trsm_tile(p: Precision, l: &Tile, b: &mut Tile) {
 /// staging traffic; the values are bit-identical to the widen-then-narrow
 /// route because every step of that route rounded at most once.
 pub fn trsm_tile_ws(p: Precision, l: &Tile, b: &mut Tile, ws: &mut Workspace, parallel: bool) {
+    let sp = obs::span_start();
+    trsm_tile_ws_inner(p, l, b, ws, parallel);
+    obs::span_end(
+        sp,
+        obs::EventKind::KernelTrsm,
+        obs::kernel_arg(trsm_effective_precision(p), l.rows()),
+    );
+}
+
+fn trsm_tile_ws_inner(p: Precision, l: &Tile, b: &mut Tile, ws: &mut Workspace, parallel: bool) {
     let n = l.rows();
     assert_eq!(n, l.cols());
     assert_eq!(b.cols(), n);
@@ -215,6 +241,16 @@ pub fn syrk_tile(a: &Tile, c: &mut Tile) {
 /// [`syrk_tile`] on a caller-owned workspace; F64-stored `C` updates in
 /// place, and F64-stored panels are read with zero copies.
 pub fn syrk_tile_ws(a: &Tile, c: &mut Tile, ws: &mut Workspace, parallel: bool) {
+    let sp = obs::span_start();
+    syrk_tile_ws_inner(a, c, ws, parallel);
+    obs::span_end(
+        sp,
+        obs::EventKind::KernelSyrk,
+        obs::kernel_arg(Precision::Fp64, c.rows()),
+    );
+}
+
+fn syrk_tile_ws_inner(a: &Tile, c: &mut Tile, ws: &mut Workspace, parallel: bool) {
     let m = c.rows();
     assert_eq!(m, c.cols());
     assert_eq!(a.rows(), m);
@@ -260,6 +296,23 @@ pub fn gemm_tile_ws(
 /// the caller can account conversions avoided vs. performed.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_tile_ws_cached(
+    p: Precision,
+    a: &Tile,
+    a_buf: Option<&ComputeBuf>,
+    b: &Tile,
+    b_buf: Option<&ComputeBuf>,
+    c: &mut Tile,
+    ws: &mut Workspace,
+    parallel: bool,
+) -> usize {
+    let sp = obs::span_start();
+    let converted = gemm_tile_ws_cached_inner(p, a, a_buf, b, b_buf, c, ws, parallel);
+    obs::span_end(sp, obs::EventKind::KernelGemm, obs::kernel_arg(p, c.rows()));
+    converted
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_ws_cached_inner(
     p: Precision,
     a: &Tile,
     a_buf: Option<&ComputeBuf>,

@@ -1,0 +1,271 @@
+//! Exporters: Chrome `trace_event` JSON (chrome://tracing, Perfetto) and a
+//! flat JSONL event log.
+//!
+//! Chrome format: one track (`tid`) per scheduler worker plus a `main`
+//! track; spans as `ph:"X"` complete events, steal/park/wake and other
+//! point events as `ph:"i"` thread-scoped instants, thread names as
+//! `ph:"M"` metadata. Timestamps are microseconds relative to the trace's
+//! earliest record.
+
+use crate::json::{parse, Value};
+use crate::record::MAIN_TRACK;
+use crate::ring::TraceData;
+
+fn track_name(track: u16) -> String {
+    if track == MAIN_TRACK {
+        "main".to_string()
+    } else {
+        format!("worker {track}")
+    }
+}
+
+/// Chrome displays tids as integers; map `MAIN_TRACK` to one past the
+/// largest worker id so the main track sorts last.
+fn tid_of(track: u16, max_worker: u16) -> u32 {
+    if track == MAIN_TRACK {
+        max_worker as u32 + 1
+    } else {
+        track as u32
+    }
+}
+
+/// Render the trace as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(t: &TraceData) -> String {
+    let t0 = t.min_ts();
+    let max_worker = t
+        .records
+        .iter()
+        .map(|r| r.track)
+        .filter(|&w| w != MAIN_TRACK)
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |ev: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&ev);
+    };
+    for track in t.tracks() {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+                tid_of(track, max_worker),
+                track_name(track)
+            ),
+            &mut out,
+        );
+    }
+    // records are already sorted by (ts, track)
+    for r in &t.records {
+        let ts_us = (r.ts_ns - t0) as f64 / 1e3;
+        let tid = tid_of(r.track, max_worker);
+        let name = r.kind.name();
+        let ev = if r.kind.is_instant() {
+            format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts_us:.3}, \"name\": \"{name}\", \"s\": \"t\", \"args\": {{\"arg\": {}}}}}",
+                r.arg
+            )
+        } else {
+            format!(
+                "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts_us:.3}, \"dur\": {:.3}, \"name\": \"{name}\", \"args\": {{\"arg\": {}}}}}",
+                r.dur_ns as f64 / 1e3,
+                r.arg
+            )
+        };
+        push(ev, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// What [`validate_chrome_trace`] found in a valid document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTraceSummary {
+    pub events: usize,
+    pub complete_spans: usize,
+    pub instants: usize,
+    pub tracks: usize,
+}
+
+/// Validate a Chrome `trace_event` document: well-formed JSON, the
+/// `traceEvents` array present, every event carrying the required typed
+/// fields, and `ts` monotonically non-decreasing per track for `X` spans.
+pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = parse(s)?;
+    if !doc.is_obj() {
+        return Err("top level must be an object".into());
+    }
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents must be an array")?;
+    let mut summary = ChromeTraceSummary {
+        events: events.len(),
+        ..Default::default()
+    };
+    let mut last_ts: Vec<(f64, f64)> = Vec::new(); // (tid, last X ts)
+    let mut tracks: Vec<f64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: bad or missing {field}");
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("tid"))?;
+        ev.get("pid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("pid"))?;
+        ev.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        if !tracks.contains(&tid) {
+            tracks.push(tid);
+        }
+        match ph {
+            "M" => {}
+            "i" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                summary.instants += 1;
+            }
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| ctx("dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                match last_ts.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(format!(
+                                "event {i}: ts {ts} regresses below {last} on tid {tid}"
+                            ));
+                        }
+                        *last = ts;
+                    }
+                    None => last_ts.push((tid, ts)),
+                }
+                summary.complete_spans += 1;
+            }
+            other => return Err(format!("event {i}: unsupported ph \"{other}\"")),
+        }
+    }
+    summary.tracks = tracks.len();
+    Ok(summary)
+}
+
+/// Render the trace as one JSON object per line (grep/jq-friendly log).
+pub fn jsonl_log(t: &TraceData) -> String {
+    let mut out = String::new();
+    for r in &t.records {
+        out.push_str(&format!(
+            "{{\"ts_ns\": {}, \"dur_ns\": {}, \"kind\": \"{}\", \"track\": {}, \"arg\": {}}}\n",
+            r.ts_ns,
+            r.dur_ns,
+            r.kind.name(),
+            r.track,
+            r.arg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventKind, Record};
+
+    fn sample() -> TraceData {
+        let records = vec![
+            Record {
+                ts_ns: 100,
+                dur_ns: 50,
+                arg: 0,
+                kind: EventKind::TaskExec,
+                track: 0,
+            },
+            Record {
+                ts_ns: 120,
+                dur_ns: 0,
+                arg: 3,
+                kind: EventKind::Steal,
+                track: 1,
+            },
+            Record {
+                ts_ns: 160,
+                dur_ns: 40,
+                arg: 1,
+                kind: EventKind::TaskExec,
+                track: 0,
+            },
+            Record {
+                ts_ns: 200,
+                dur_ns: 10,
+                arg: 2,
+                kind: EventKind::MleIter,
+                track: crate::record::MAIN_TRACK,
+            },
+        ];
+        TraceData {
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let json = chrome_trace_json(&sample());
+        let s = validate_chrome_trace(&json).expect("export must be valid");
+        assert_eq!(s.complete_spans, 3);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.tracks, 3); // worker 0, worker 1, main
+    }
+
+    #[test]
+    fn validator_rejects_regression() {
+        let bad = r#"{"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "ts": 10.0, "dur": 1.0, "name": "a"},
+            {"ph": "X", "pid": 0, "tid": 0, "ts": 5.0, "dur": 1.0, "name": "b"}
+        ]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("regresses"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        let no_dur =
+            r#"{"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "ts": 1.0, "name": "a"}]}"#;
+        assert!(validate_chrome_trace(no_dur).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let log = jsonl_log(&sample());
+        assert_eq!(log.lines().count(), 4);
+        for line in log.lines() {
+            crate::json::parse(line).expect("each line parses");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal JSON parser — exists **only** to validate exported documents
+//! (Chrome traces, `RunReport`s) in tests and the verify smoke step. All
+//! JSON *emission* in this workspace stays hand-rolled; nothing on a hot
+//! path parses JSON.
+
+/// A parsed JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_obj(&self) -> bool {
+        matches!(self, Value::Obj(_))
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, i);
+    if *i < b.len() && b[*i] == c {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, i),
+        Some(b'[') => parse_arr(b, i),
+        Some(b'"') => Ok(Value::Str(parse_string(b, i)?)),
+        Some(b't') => parse_lit(b, i, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, i, "null", Value::Null),
+        Some(_) => parse_num(b, i),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_num(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *i += 1;
+    }
+    let txt = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+    txt.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number '{txt}' at byte {start}"))
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    expect(b, i, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let ch_len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(b.get(*i..*i + ch_len).ok_or("bad utf8")?)
+                    .map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *i += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    expect(b, i, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    expect(b, i, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, i);
+        let key = parse_string(b, i)?;
+        expect(b, i, b':')?;
+        let val = parse_value(b, i)?;
+        members.push((key, val));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\n\"y\""}, "d": true, "e": null}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+}

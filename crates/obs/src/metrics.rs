@@ -1,0 +1,357 @@
+//! Global metrics registry: counters, gauges, and fixed-bucket histograms
+//! behind stable dotted names (`scheduler.steals`, `wire.bytes`, …).
+//!
+//! Counters are cheap enough to leave always-on (one relaxed atomic add at
+//! tile/message granularity); handles are `Arc`-shared so hot sites cache
+//! them in [`LazyCounter`] statics and never touch the registry lock after
+//! first use. [`snapshot`] returns a sorted, JSON-serializable view;
+//! [`reset`] zeroes values while keeping registrations (tests, multi-run
+//! binaries).
+//!
+//! Naming scheme (see DESIGN.md §15): `scheduler.*` work-stealing
+//! counters, `factor.*` factorization/conversion accounting, `wire.*`
+//! packed-wire data motion, `kernel.*` tile-kernel activity, `mle.*`
+//! driver-level progress.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Monotonic counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Add and return the post-increment value (1-based event numbering).
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value-wins gauge (stores `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets; one overflow bucket follows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Fixed-bucket histogram of `u64` samples (latencies in ns, sizes in
+/// bytes). Bucket `i` counts samples `<= bounds[i]`; the last bucket is
+/// the overflow.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, RegistryInner> {
+    static R: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    R.get_or_init(|| {
+        Mutex::new(RegistryInner {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+    .lock()
+    .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Get or create the counter `name`.
+pub fn counter(name: &str) -> Counter {
+    registry()
+        .counters
+        .entry(name.to_string())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// Get or create the gauge `name`.
+pub fn gauge(name: &str) -> Gauge {
+    registry()
+        .gauges
+        .entry(name.to_string())
+        .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        .clone()
+}
+
+/// Get or create the histogram `name` with the given finite-bucket upper
+/// bounds (ignored if the histogram already exists).
+pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
+    registry()
+        .histograms
+        .entry(name.to_string())
+        .or_insert_with(|| {
+            Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }))
+        })
+        .clone()
+}
+
+/// A counter static for hot sites: resolves its registry handle once, then
+/// every `add` is a single relaxed atomic increment.
+///
+/// ```ignore
+/// static STEALS: LazyCounter = LazyCounter::new("scheduler.steals");
+/// STEALS.add(1);
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    slot: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    pub fn handle(&self) -> &Counter {
+        self.slot.get_or_init(|| counter(self.name))
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.handle().add(v);
+    }
+
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.handle().inc()
+    }
+
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` entries; last is the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+/// Sorted point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot as a JSON object (counters and gauges keyed by name,
+    /// histograms as `{bounds, buckets, count, sum}` objects).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{n}\": {v}"));
+        }
+        s.push_str("}, \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{n}\": {v:e}"));
+        }
+        s.push_str("}, \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            s.push_str(&format!(
+                "\"{}\": {{\"bounds\": [{}], \"buckets\": [{}], \"count\": {}, \"sum\": {}}}",
+                h.name,
+                bounds.join(", "),
+                buckets.join(", "),
+                h.count,
+                h.sum
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Snapshot every registered metric, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                bounds: h.0.bounds.clone(),
+                buckets: h
+                    .0
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                count: h.0.count.load(Ordering::Relaxed),
+                sum: h.0.sum.load(Ordering::Relaxed),
+            })
+            .collect(),
+    }
+}
+
+/// Zero every registered metric (registrations and cached handles stay
+/// valid). For run boundaries in multi-run binaries and tests.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.values() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.values() {
+        g.0.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    for h in reg.histograms.values() {
+        for b in &h.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.0.count.store(0, Ordering::Relaxed);
+        h.0.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::test_guard;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let _g = test_guard();
+        reset();
+        let c = counter("test.metrics.counter");
+        c.add(3);
+        assert_eq!(c.inc(), 4);
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        let h = histogram("test.metrics.histo", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.metrics.counter"), Some(4));
+        assert_eq!(snap.gauge("test.metrics.gauge"), Some(2.5));
+        let hs = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.metrics.histo")
+            .unwrap();
+        assert_eq!(hs.buckets, vec![1, 1, 1]);
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 5055);
+        reset();
+        assert_eq!(counter("test.metrics.counter").get(), 0);
+    }
+
+    #[test]
+    fn lazy_counter_caches_handle() {
+        let _g = test_guard();
+        static C: LazyCounter = LazyCounter::new("test.metrics.lazy");
+        let before = C.get();
+        C.add(2);
+        assert_eq!(C.get(), before + 2);
+        assert_eq!(counter("test.metrics.lazy").get(), before + 2);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let _g = test_guard();
+        counter("test.metrics.json").add(1);
+        let j = snapshot().to_json();
+        assert!(j.starts_with("{\"counters\""));
+        assert!(j.contains("\"test.metrics.json\""));
+        crate::json::parse(&j).expect("snapshot JSON must parse");
+    }
+}

@@ -1,0 +1,138 @@
+//! Telemetry records: the fixed-size event layout every producer writes
+//! into its ring buffer and every exporter reads back out.
+
+use mixedp_fp::Precision;
+
+/// Track id used for records emitted off any scheduler worker (main
+/// thread, serial executor, driver code).
+pub const MAIN_TRACK: u16 = u16::MAX;
+
+/// What a record describes. The first group are *spans* (have a duration);
+/// the second are *instants* (point events, `dur_ns == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// One scheduler task execution; `arg` = task id.
+    TaskExec = 0,
+    /// Tile kernel invocations; `arg` = [`kernel_arg`] (precision, nb).
+    KernelPotrf,
+    KernelTrsm,
+    KernelSyrk,
+    KernelGemm,
+    /// A tile→compute-format quantization; `arg` = bytes produced.
+    Convert,
+    /// Fused convert-and-pack of one wire frame; `arg` = packed bytes.
+    WirePack,
+    /// Receiver-side unpack of one frame; `arg` = packed bytes read.
+    WireUnpack,
+    /// One whole factorization attempt; `arg` = attempt number (1-based).
+    FactorAttempt,
+    /// One likelihood evaluation of the MLE driver; `arg` = eval number.
+    MleIter,
+    // ---- instants from here on ----
+    /// Successful steal operation; `arg` = tasks grabbed.
+    Steal,
+    /// Worker parked after a failed spin; `arg` = worker id.
+    Park,
+    /// Targeted wake-up issued; `arg` = worker id woken.
+    Wake,
+    /// Precision-map escalation after a breakdown; `arg` = tiles promoted.
+    Escalate,
+    /// One cross-rank message transmission; `arg` = framed wire bytes.
+    WireSend,
+}
+
+impl EventKind {
+    /// Stable name used by the exporters (Chrome `name`, JSONL `kind`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskExec => "task",
+            EventKind::KernelPotrf => "potrf",
+            EventKind::KernelTrsm => "trsm",
+            EventKind::KernelSyrk => "syrk",
+            EventKind::KernelGemm => "gemm",
+            EventKind::Convert => "convert",
+            EventKind::WirePack => "pack",
+            EventKind::WireUnpack => "unpack",
+            EventKind::FactorAttempt => "attempt",
+            EventKind::MleIter => "mle_eval",
+            EventKind::Steal => "steal",
+            EventKind::Park => "park",
+            EventKind::Wake => "wake",
+            EventKind::Escalate => "escalate",
+            EventKind::WireSend => "send",
+        }
+    }
+
+    /// Point event (no duration) vs span.
+    pub const fn is_instant(self) -> bool {
+        (self as u8) >= (EventKind::Steal as u8)
+    }
+}
+
+/// One telemetry event. 32 bytes, `Copy`, no heap — the unit the ring
+/// buffers store and the exporters consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Start time, ns since the process telemetry epoch ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Duration in ns (0 for instants).
+    pub dur_ns: u64,
+    /// Kind-specific payload (task id, bytes, count — see [`EventKind`]).
+    pub arg: u64,
+    pub kind: EventKind,
+    /// Worker id of the emitting scheduler worker, or [`MAIN_TRACK`].
+    pub track: u16,
+}
+
+impl Default for Record {
+    fn default() -> Self {
+        Record {
+            ts_ns: 0,
+            dur_ns: 0,
+            arg: 0,
+            kind: EventKind::TaskExec,
+            track: MAIN_TRACK,
+        }
+    }
+}
+
+/// Pack a kernel invocation's precision and tile size into a span `arg`.
+pub fn kernel_arg(p: Precision, nb: usize) -> u64 {
+    let code = Precision::ALL.iter().position(|&q| q == p).unwrap_or(0) as u64;
+    (code << 32) | (nb as u64 & 0xFFFF_FFFF)
+}
+
+/// Inverse of [`kernel_arg`].
+pub fn kernel_arg_decode(arg: u64) -> (Precision, usize) {
+    let code = (arg >> 32) as usize;
+    let p = Precision::ALL.get(code).copied().unwrap_or(Precision::Fp64);
+    (p, (arg & 0xFFFF_FFFF) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_arg_roundtrip() {
+        for p in Precision::ALL {
+            let (q, nb) = kernel_arg_decode(kernel_arg(p, 512));
+            assert_eq!(q, p);
+            assert_eq!(nb, 512);
+        }
+    }
+
+    #[test]
+    fn instants_partition() {
+        assert!(!EventKind::TaskExec.is_instant());
+        assert!(!EventKind::MleIter.is_instant());
+        assert!(EventKind::Steal.is_instant());
+        assert!(EventKind::WireSend.is_instant());
+    }
+
+    #[test]
+    fn record_is_small() {
+        assert!(std::mem::size_of::<Record>() <= 32);
+    }
+}

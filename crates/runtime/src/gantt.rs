@@ -1,38 +1,56 @@
-//! ASCII Gantt rendering of execution traces — terminal-friendly
+//! ASCII Gantt rendering of telemetry span streams — terminal-friendly
 //! visualization of the asynchronous schedule (the view PaRSEC's
 //! instrumentation tools provide graphically).
 
-use crate::trace::ExecutionTrace;
+use crate::trace::WorkerStats;
+use mixedp_obs as obs;
 
-/// Render the trace as one row per worker, `width` columns across the
-/// makespan. Each cell shows a digit of the task id that occupied most of
-/// that slot (`·` = idle).
-pub fn render_gantt(trace: &ExecutionTrace, width: usize) -> String {
+fn track_label(track: u16) -> String {
+    if track == obs::MAIN_TRACK {
+        "main".to_string()
+    } else {
+        format!("w{track}")
+    }
+}
+
+/// Render the span records as one row per track, `width` columns across
+/// the makespan. Each cell shows a digit of the task id (`arg % 10`) that
+/// occupied most of that slot (`·` = idle). Instants are skipped; build
+/// the input with [`obs::collect`] after a traced run or via
+/// [`ExecutionTrace::to_telemetry`](crate::ExecutionTrace::to_telemetry).
+pub fn render_gantt(trace: &obs::TraceData, width: usize) -> String {
     assert!(width > 0);
-    let span = trace.makespan_ns().max(1) as f64;
+    let tracks = trace.tracks();
+    if tracks.is_empty() {
+        return String::new();
+    }
+    let t0 = trace.min_ts();
+    let span = (trace.max_end() - t0).max(1) as f64;
     let w = span / width as f64;
-    let mut rows: Vec<Vec<(f64, char)>> = vec![vec![(0.0, '·'); width]; trace.nworkers()];
-    for s in trace.spans() {
-        let first = ((s.start_ns as f64 / w) as usize).min(width - 1);
-        let last = ((s.end_ns as f64 / w) as usize).min(width - 1);
-        let glyph = char::from_digit((s.task % 10) as u32, 10).unwrap();
-        for (col, slot) in rows[s.worker]
-            .iter_mut()
-            .enumerate()
-            .take(last + 1)
-            .skip(first)
-        {
+    let mut rows: Vec<Vec<(f64, char)>> = vec![vec![(0.0, '·'); width]; tracks.len()];
+    for r in trace.spans() {
+        let row = tracks.binary_search(&r.track).unwrap();
+        let (a, b) = ((r.ts_ns - t0) as f64, (r.ts_ns - t0 + r.dur_ns) as f64);
+        let first = ((a / w) as usize).min(width - 1);
+        let last = ((b / w) as usize).min(width - 1);
+        let glyph = char::from_digit((r.arg % 10) as u32, 10).unwrap();
+        for (col, slot) in rows[row].iter_mut().enumerate().take(last + 1).skip(first) {
             let lo = col as f64 * w;
             let hi = lo + w;
-            let overlap = ((s.end_ns as f64).min(hi) - (s.start_ns as f64).max(lo)).max(0.0);
+            let overlap = (b.min(hi) - a.max(lo)).max(0.0);
             if overlap > slot.0 {
                 *slot = (overlap, glyph);
             }
         }
     }
+    let label_w = tracks
+        .iter()
+        .map(|&t| track_label(t).len())
+        .max()
+        .unwrap_or(2);
     let mut out = String::new();
-    for (widx, row) in rows.iter().enumerate() {
-        out.push_str(&format!("w{widx} |"));
+    for (row, &track) in rows.iter().zip(&tracks) {
+        out.push_str(&format!("{:<label_w$} |", track_label(track)));
         for &(_, g) in row {
             out.push(g);
         }
@@ -44,9 +62,13 @@ pub fn render_gantt(trace: &ExecutionTrace, width: usize) -> String {
 /// [`render_gantt`] plus a per-worker scheduler-counter footer (tasks run,
 /// local pops vs stolen tasks, steal operations, parks, wake-ups issued) —
 /// the work-stealing behavior that the span rows alone cannot show.
-pub fn render_gantt_with_stats(trace: &ExecutionTrace, width: usize) -> String {
+pub fn render_gantt_with_stats(
+    trace: &obs::TraceData,
+    stats: &[WorkerStats],
+    width: usize,
+) -> String {
     let mut out = render_gantt(trace, width);
-    for (widx, s) in trace.worker_stats().iter().enumerate() {
+    for (widx, s) in stats.iter().enumerate() {
         out.push_str(&format!(
             "w{widx}  tasks {:>5}  local {:>5}  stolen {:>4} ({} steals)  parks {:>3}  wakes {:>3}\n",
             s.tasks, s.local_pops, s.stolen_tasks, s.steals, s.parks, s.wakes
@@ -58,7 +80,7 @@ pub fn render_gantt_with_stats(trace: &ExecutionTrace, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::TaskSpan;
+    use crate::trace::{ExecutionTrace, TaskSpan};
 
     #[test]
     fn renders_rows_per_worker() {
@@ -76,7 +98,7 @@ mod tests {
                 end_ns: 100,
             },
         ];
-        let t = ExecutionTrace::new(spans, 2);
+        let t = ExecutionTrace::new(spans, 2).to_telemetry();
         let g = render_gantt(&t, 20);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -88,10 +110,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_renders_idle() {
-        let t = ExecutionTrace::new(vec![], 1);
+    fn empty_trace_renders_nothing() {
+        let t = ExecutionTrace::new(vec![], 1).to_telemetry();
+        assert_eq!(render_gantt(&t, 8), "");
+    }
+
+    #[test]
+    fn main_track_spans_get_a_labeled_row() {
+        let t = obs::TraceData {
+            records: vec![obs::Record {
+                ts_ns: 100,
+                dur_ns: 50,
+                arg: 3,
+                kind: obs::EventKind::TaskExec,
+                track: obs::MAIN_TRACK,
+            }],
+            dropped: 0,
+        };
         let g = render_gantt(&t, 8);
-        assert_eq!(g, "w0 |········|\n");
+        assert!(g.starts_with("main |3"), "{g}");
+    }
+
+    #[test]
+    fn absolute_timestamps_are_normalized() {
+        // spans far from t=0 still fill the full width
+        let base = 5_000_000_000u64;
+        let spans = vec![TaskSpan {
+            task: 7,
+            worker: 0,
+            start_ns: base,
+            end_ns: base + 80,
+        }];
+        let t = ExecutionTrace::new(spans, 1).to_telemetry();
+        let g = render_gantt(&t, 8);
+        assert_eq!(g, "w0 |77777777|\n");
     }
 
     #[test]
@@ -108,8 +160,8 @@ mod tests {
             local_pops: 1,
             ..Default::default()
         }];
-        let t = ExecutionTrace::with_worker_stats(spans, 1, stats);
-        let g = render_gantt_with_stats(&t, 8);
+        let t = ExecutionTrace::new(spans, 1).to_telemetry();
+        let g = render_gantt_with_stats(&t, &stats, 8);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("tasks"));

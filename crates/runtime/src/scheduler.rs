@@ -54,6 +54,7 @@
 use crate::fault::{FaultPlan, RetryPolicy, TaskFailure};
 use crate::graph::{TaskGraph, TaskId};
 use crate::trace::{ExecutionTrace, TaskSpan, WorkerStats};
+use mixedp_obs as obs;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -219,6 +220,7 @@ impl SharedState<'_> {
             wid
         };
         self.unpark(wid);
+        obs::instant(obs::EventKind::Wake, wid as u64);
         true
     }
 
@@ -345,6 +347,10 @@ pub fn execute_parallel_ctx_opts<C: Send>(
     };
 
     let t0 = Instant::now();
+    // Telemetry epoch of this run: obs records carry absolute timestamps
+    // (`run_epoch_ns + t0-relative`), reusing the per-task clock reads the
+    // trace already pays — tracing-on adds only the ring store per task.
+    let run_epoch_ns = obs::now_ns();
     type WorkerResult = (Vec<TaskSpan>, WorkerStats, Vec<TaskFailure>);
     let results: Vec<Mutex<WorkerResult>> = (0..nthreads)
         .map(|_| Mutex::new((Vec::new(), WorkerStats::default(), Vec::new())))
@@ -358,6 +364,7 @@ pub fn execute_parallel_ctx_opts<C: Send>(
     let run = &run;
 
     let worker = move |wid: usize| {
+        obs::set_thread_track(wid as u16);
         let mut ctx = mk_ctx(wid);
         let mut stats = WorkerStats::default();
         let mut my_spans: Vec<TaskSpan> = Vec::new();
@@ -417,6 +424,7 @@ pub fn execute_parallel_ctx_opts<C: Send>(
                     }
                     stats.steals += 1;
                     stats.stolen_tasks += grabbed.len() as u64;
+                    obs::instant(obs::EventKind::Steal, grabbed.len() as u64);
                     // Heap pops come out best-first; keep the best to run
                     // now and stash the rest reversed (best at the back).
                     let mut it = grabbed.into_iter();
@@ -460,6 +468,7 @@ pub fn execute_parallel_ctx_opts<C: Send>(
                     continue 'main;
                 }
                 stats.parks += 1;
+                obs::instant(obs::EventKind::Park, wid as u64);
                 {
                     let p = &state.parkers[wid];
                     let mut flag = lock_pt(&p.flag);
@@ -532,6 +541,12 @@ pub fn execute_parallel_ctx_opts<C: Send>(
                     start_ns: start,
                     end_ns: end,
                 });
+                obs::span_at(
+                    run_epoch_ns + start,
+                    end - start,
+                    obs::EventKind::TaskExec,
+                    id as u64,
+                );
             }
             stats.tasks += 1;
             state.executed_by[id].store(wid, Ordering::Release);
@@ -772,7 +787,9 @@ pub fn execute_serial_ctx<C>(
         .collect();
     let mut order = Vec::with_capacity(n);
     while let Some(r) = heap.pop() {
+        let sp = obs::span_start();
         run(ctx, r.id);
+        obs::span_end(sp, obs::EventKind::TaskExec, r.id as u64);
         order.push(r.id);
         for &dep in &dependents[r.id] {
             counts[dep] -= 1;
@@ -822,6 +839,7 @@ pub fn execute_serial_ctx_opts<C>(
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            let sp = obs::span_start();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if !opts.faults.is_noop() && opts.faults.inject_panic(id as u64, attempt) {
                     panic!(
@@ -831,6 +849,7 @@ pub fn execute_serial_ctx_opts<C>(
                 }
                 run(ctx, id)
             }));
+            obs::span_end(sp, obs::EventKind::TaskExec, id as u64);
             let payload = match outcome {
                 Ok(()) => break,
                 Err(p) => p,

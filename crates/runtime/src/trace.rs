@@ -2,6 +2,7 @@
 
 use crate::fault::TaskFailure;
 use crate::graph::TaskId;
+use mixedp_obs as obs;
 
 /// One executed task: which worker ran it and when (ns since run start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,28 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
+    /// Add these counters to the metrics registry under `scheduler.*`.
+    pub fn publish_metrics(&self) {
+        static TASKS: obs::LazyCounter = obs::LazyCounter::new("scheduler.tasks");
+        static LOCAL_POPS: obs::LazyCounter = obs::LazyCounter::new("scheduler.local_pops");
+        static STEALS: obs::LazyCounter = obs::LazyCounter::new("scheduler.steals");
+        static STOLEN: obs::LazyCounter = obs::LazyCounter::new("scheduler.stolen_tasks");
+        static FAILED: obs::LazyCounter = obs::LazyCounter::new("scheduler.failed_steals");
+        static PARKS: obs::LazyCounter = obs::LazyCounter::new("scheduler.parks");
+        static WAKES: obs::LazyCounter = obs::LazyCounter::new("scheduler.wakes");
+        static AFFINITY: obs::LazyCounter = obs::LazyCounter::new("scheduler.affinity_dispatches");
+        static RETRIES: obs::LazyCounter = obs::LazyCounter::new("scheduler.retries");
+        TASKS.add(self.tasks);
+        LOCAL_POPS.add(self.local_pops);
+        STEALS.add(self.steals);
+        STOLEN.add(self.stolen_tasks);
+        FAILED.add(self.failed_steals);
+        PARKS.add(self.parks);
+        WAKES.add(self.wakes);
+        AFFINITY.add(self.affinity_dispatches);
+        RETRIES.add(self.retries);
+    }
+
     /// Merge another worker's counters into this one (fleet totals).
     pub fn accumulate(&mut self, o: &WorkerStats) {
         self.tasks += o.tasks;
@@ -150,6 +173,35 @@ impl ExecutionTrace {
             return 0.0;
         }
         self.busy_ns() as f64 / (span as f64 * self.nworkers as f64)
+    }
+
+    /// Re-express the trace as a telemetry record stream: one `TaskExec`
+    /// span per task on the worker's track, sorted by start time. Bridges
+    /// traces collected without live tracing (or hand-built in tests) into
+    /// the exporters (`chrome_trace_json`, `occupancy_timeline`, Gantt).
+    pub fn to_telemetry(&self) -> obs::TraceData {
+        let mut records: Vec<obs::Record> = self
+            .spans
+            .iter()
+            .map(|s| obs::Record {
+                ts_ns: s.start_ns,
+                dur_ns: s.duration_ns(),
+                arg: s.task as u64,
+                kind: obs::EventKind::TaskExec,
+                track: s.worker as u16,
+            })
+            .collect();
+        records.sort_by_key(|r| (r.ts_ns, r.track));
+        obs::TraceData {
+            records,
+            dropped: 0,
+        }
+    }
+
+    /// Publish the run's scheduler counters to the metrics registry
+    /// (`scheduler.*` totals across all workers).
+    pub fn publish_metrics(&self) {
+        self.total_stats().publish_metrics();
     }
 
     /// Occupancy sampled over `bins` equal intervals: fraction of worker

@@ -35,6 +35,8 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     cargo run --offline --release -p mixedp-bench --bin bench_scheduler -- --quick
     echo "== wire data-motion snapshot (BENCH_wire.json)"
     cargo run --offline --release -p mixedp-bench --bin bench_wire -- --reps=3
+    echo "== telemetry smoke (chrome trace + run report + <2% overhead gate)"
+    cargo run --offline --release -p mixedp-bench --bin telemetry_smoke
 fi
 
 echo "verify: OK"
